@@ -1,0 +1,86 @@
+"""E10 — Lemma 1: graceful leaves preserve the matrix distribution.
+
+Two ensembles of final size N: (a) N joins, no leaves; (b) N + L joins
+with L uniformly chosen graceful leaves interleaved.  Lemma 1 says the
+final matrices are identically distributed.  We compare two observables
+across many seeded runs:
+
+* the per-column occupancy-count distribution (chi-square homogeneity);
+* the distribution of hanging-thread ownership depth (KS test).
+"""
+
+import numpy as np
+
+from repro.analysis import chi_square_same_distribution, ks_same_distribution
+from repro.core import OverlayNetwork
+
+from conftest import emit_table, run_once
+
+K, D, N, EXTRA = 10, 2, 30, 15
+RUNS = 120
+
+
+def _observables(seed: int, churned: bool):
+    net = OverlayNetwork(k=K, d=D, seed=seed)
+    if churned:
+        rng = np.random.default_rng(seed + 10_000)
+        joined = 0
+        left = 0
+        # interleave joins and leaves at random, ending at N rows
+        while joined < N + EXTRA or left < EXTRA:
+            can_leave = left < EXTRA and net.population > 1
+            if joined < N + EXTRA and (not can_leave or rng.random() < 0.67):
+                net.join()
+                joined += 1
+            elif can_leave:
+                net.leave(net.random_working_node())
+                left += 1
+    else:
+        net.grow(N)
+    loads = [len(net.matrix.column_chain(c)) for c in range(K)]
+    depths = net.graph().depths_from_server()
+    owner_depths = [
+        depths[owner]
+        for owner in net.matrix.hanging_owners()
+        if owner != -1
+    ]
+    return loads, owner_depths
+
+
+def experiment():
+    max_load = 0
+    data = {}
+    for churned in (False, True):
+        loads, owner_depths = [], []
+        for run in range(RUNS):
+            run_loads, run_depths = _observables(3_000 + run, churned)
+            loads.extend(run_loads)
+            owner_depths.extend(run_depths)
+        data[churned] = (loads, owner_depths)
+        max_load = max(max_load, max(loads))
+    bins = range(max_load + 2)
+    direct_hist = np.histogram(data[False][0], bins=bins)[0]
+    churned_hist = np.histogram(data[True][0], bins=bins)[0]
+    chi2, chi2_p = chi_square_same_distribution(direct_hist, churned_hist)
+    ks, ks_p = ks_same_distribution(data[False][1], data[True][1])
+    rows = [
+        ["column loads (chi-square)", chi2, chi2_p],
+        ["hanging-owner depth (KS)", ks, ks_p],
+    ]
+    return rows
+
+
+def test_e10_leave_invariance(benchmark):
+    rows = run_once(benchmark, experiment)
+    emit_table(
+        "e10_leave_invariance",
+        ["observable", "statistic", "p-value"],
+        rows,
+        title=(
+            f"E10 — Lemma 1: {N}-join ensemble vs {N + EXTRA}-join/"
+            f"{EXTRA}-leave ensemble ({RUNS} runs each)"
+        ),
+    )
+    # the distributions must be statistically indistinguishable
+    for _, _, p_value in rows:
+        assert p_value > 0.01

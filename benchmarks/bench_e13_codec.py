@@ -1,0 +1,88 @@
+"""E13 — codec micro-benchmarks (the Chou–Wu–Jain practicality claim).
+
+True micro-benchmarks (multiple rounds, pytest-benchmark statistics) for
+the three data-plane primitives at 1 KiB payloads, plus the coefficient
+header overhead table across generation sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding import Decoder, GenerationParams, Recoder, SourceEncoder
+
+from conftest import emit_table
+
+PAYLOAD = 1024
+GENERATIONS = (16, 32, 64, 128)
+
+
+def _setup(generation_size: int, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    params = GenerationParams(generation_size=generation_size, payload_size=PAYLOAD)
+    content = bytes(
+        rng.integers(0, 256, size=generation_size * PAYLOAD, dtype=np.uint8)
+    )
+    encoder = SourceEncoder(content, params, rng)
+    return params, encoder, rng
+
+
+@pytest.mark.parametrize("generation_size", (16, 64))
+def test_e13_encode_throughput(benchmark, generation_size):
+    _, encoder, _ = _setup(generation_size)
+    packet = benchmark(encoder.emit, 0)
+    assert packet.payload_size == PAYLOAD
+
+
+@pytest.mark.parametrize("generation_size", (16, 64))
+def test_e13_recode_throughput(benchmark, generation_size):
+    params, encoder, rng = _setup(generation_size)
+    recoder = Recoder(params, 1, rng)
+    for _ in range(generation_size):
+        recoder.receive(encoder.emit(0))
+    packet = benchmark(recoder.emit, 0)
+    assert packet is not None
+
+
+@pytest.mark.parametrize("generation_size", (16, 64))
+def test_e13_decode_throughput(benchmark, generation_size):
+    """Time a full generation decode (g innovative pushes)."""
+    params, encoder, _ = _setup(generation_size)
+    packets = [encoder.emit(0) for _ in range(generation_size + 8)]
+
+    def decode_generation():
+        decoder = Decoder(params, 1)
+        for packet in packets:
+            if decoder.is_complete:
+                break
+            decoder.push(packet)
+        return decoder
+
+    decoder = benchmark(decode_generation)
+    assert decoder.is_complete
+
+
+def test_e13_overhead_table(benchmark):
+    def build_rows():
+        rows = []
+        for generation_size in GENERATIONS:
+            _, encoder, _ = _setup(generation_size)
+            packet = encoder.emit(0)
+            rows.append([
+                generation_size,
+                PAYLOAD,
+                packet.wire_size(),
+                packet.header_overhead,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    emit_table(
+        "e13_overhead",
+        ["generation size", "payload B", "wire B", "header overhead"],
+        rows,
+        title="E13 — coefficient header overhead vs generation size",
+    )
+    overheads = [row[3] for row in rows]
+    # overhead grows with generation size but stays modest at 1 KiB payloads
+    assert overheads == sorted(overheads)
+    assert overheads[-1] < 0.15

@@ -1,0 +1,62 @@
+"""E6 — §6: delay of the acyclic curtain model vs alternatives.
+
+Measures pipeline depth across doubling populations for: the curtain
+overlay (shortest-path and worst-case longest-path), the §6 random-graph
+variant, and the SplitStream-style striped trees.  Expected shape:
+curtain depth grows linearly in N (chains of expected length N·d/k);
+random-graph and tree depths grow logarithmically.
+"""
+
+import numpy as np
+
+from repro.analysis import delay_profile, pipeline_depth_profile
+from repro.baselines import StripedTrees
+from repro.core import OverlayNetwork, RandomGraphOverlay
+
+from conftest import emit_table, run_once
+
+K, D = 12, 3
+POPULATIONS = (100, 200, 400, 800, 1600)
+
+
+def experiment():
+    rows = []
+    curtain_max = {}
+    random_max = {}
+    for n in POPULATIONS:
+        net = OverlayNetwork(k=K, d=D, seed=61)
+        net.grow(n)
+        graph = net.graph()
+        shortest = delay_profile(graph)
+        longest = pipeline_depth_profile(graph)
+        overlay = RandomGraphOverlay(k=K, d=D, seed=62)
+        overlay.grow(n)
+        random_profile = delay_profile(overlay.to_overlay_graph())
+        trees = StripedTrees(d=D, population=n)
+        rows.append([
+            n,
+            shortest.mean_depth, shortest.max_depth,
+            longest.max_depth,
+            random_profile.mean_depth, random_profile.max_depth,
+            trees.max_depth(),
+        ])
+        curtain_max[n] = shortest.max_depth
+        random_max[n] = random_profile.max_depth
+    return rows, curtain_max, random_max
+
+
+def test_e6_delay(benchmark):
+    rows, curtain_max, random_max = run_once(benchmark, experiment)
+    emit_table(
+        "e6_delay",
+        ["N", "curtain mean", "curtain max", "curtain pipeline max",
+         "randgraph mean", "randgraph max", "trees max"],
+        rows,
+        title=f"E6 — §6 delay scaling (k={K}, d={D})",
+    )
+    first, last = POPULATIONS[0], POPULATIONS[-1]
+    growth = last / first  # 16x population
+    # curtain: linear growth (at least half the population ratio)
+    assert curtain_max[last] >= 0.4 * growth * curtain_max[first]
+    # random graph: logarithmic growth (far below the population ratio)
+    assert random_max[last] <= 4 * random_max[first]

@@ -1,0 +1,98 @@
+"""E8 — §1 scalability: connectivity-loss probability is flat in N, and
+failure impact is local.
+
+Fixed (k, d, p); populations double.  Two measurements per size:
+
+* the probability a working node has lost any connectivity after a batch
+  failure — must NOT grow with N (the paper's headline: the network can
+  grow while the server load and per-node risk stay constant);
+* locality — every harmed node must be a direct child of some failed
+  node (grandchildren stay whole, Theorem 4's containment story).
+
+The unicast reference (⌊k/d⌋ users) is printed for contrast.
+"""
+
+import numpy as np
+
+from repro.core import OverlayNetwork
+from repro.failures import RandomBatchFailures, apply_failures
+from repro.theory import unicast_capacity
+
+from conftest import emit_table, run_once
+
+K, D, P = 24, 3, 0.02
+POPULATIONS = (250, 500, 1000, 2000)
+
+
+def _measure(n: int, seed: int) -> tuple[float, float, float]:
+    from repro.analysis import cut_mentions_failed_parents
+
+    net = OverlayNetwork(k=K, d=D, seed=seed)
+    net.grow(n)
+    apply_failures(net, RandomBatchFailures(P), np.random.default_rng(seed + 1))
+    failed = net.failed
+    children_of_failed = set()
+    for victim in failed:
+        children_of_failed.update(
+            c for c in net.matrix.children_of(victim).values() if c is not None
+        )
+    survivors = net.working_nodes
+    connectivities = net.connectivities(survivors)
+    harmed = [node for node in survivors if connectivities[node] < D]
+    loss_probability = len(harmed) / len(survivors)
+    local = (
+        sum(1 for node in harmed if node in children_of_failed) / len(harmed)
+        if harmed
+        else 1.0
+    )
+    # The min-cut certificate: shortfall exactly equals failed-parent
+    # count (a stronger statement than "the node is a child of a victim").
+    certified = (
+        sum(
+            1 for node in harmed
+            if cut_mentions_failed_parents(net.matrix, node, failed)
+        ) / len(harmed)
+        if harmed
+        else 1.0
+    )
+    return loss_probability, local, certified
+
+
+def experiment():
+    rows = []
+    for n in POPULATIONS:
+        losses, locals_, certs = zip(
+            *(_measure(n, 800 + n + r) for r in range(3))
+        )
+        rows.append([
+            n,
+            float(np.mean(losses)),
+            P * D,  # the pd reference level
+            float(np.mean(locals_)),
+            float(np.mean(certs)),
+        ])
+    return rows
+
+
+def test_e8_scalability(benchmark):
+    rows = run_once(benchmark, experiment)
+    emit_table(
+        "e8_scalability",
+        ["N", "P(connectivity loss)", "pd reference", "harmed who are children",
+         "shortfall == failed parents"],
+        rows,
+        title=(
+            f"E8 — scalability (k={K}, d={D}, p={P}; unicast capacity would "
+            f"be {unicast_capacity(K, D)} users)"
+        ),
+    )
+    losses = [row[1] for row in rows]
+    # flat in N: largest population is no worse than smallest + slack
+    assert losses[-1] <= losses[0] + 0.03
+    # every measurement is in the pd ballpark
+    assert all(loss <= 2.5 * P * D + 0.02 for loss in losses)
+    # failures are locally contained: harmed nodes are (almost) all children
+    assert all(row[3] >= 0.95 for row in rows)
+    # and the min-cut certificate confirms the damage is exactly the
+    # failed parents for (almost) every harmed node
+    assert all(row[4] >= 0.9 for row in rows)

@@ -1,0 +1,64 @@
+"""E9 — §7: the choice of d.
+
+Fixed failure probability p, server bandwidth proportional to d
+(k = 12·d, so the same physical server capacity in content units).
+For each d we measure each surviving node's *fraction* of bandwidth lost
+(connectivity shortfall / d) after a batch failure.
+
+The paper: the expected fraction lost is ≈ p for every d ("all choices
+of d are essentially equivalent in terms of expected loss"), while the
+*variance* should fall roughly as 1/d (the open-issue conjecture that
+makes large d attractive for constant-rate streaming).
+"""
+
+import numpy as np
+
+from repro.core import OverlayNetwork
+from repro.failures import RandomBatchFailures, apply_failures
+
+from conftest import emit_table, run_once
+
+P = 0.06
+D_SWEEP = (2, 3, 4, 6)
+N = 400
+REPEATS = 4
+
+
+def _fractions(d: int, seed: int) -> np.ndarray:
+    net = OverlayNetwork(k=12 * d, d=d, seed=seed)
+    net.grow(N)
+    apply_failures(net, RandomBatchFailures(P), np.random.default_rng(seed + 1))
+    survivors = net.working_nodes
+    connectivities = net.connectivities(survivors)
+    return np.asarray([(d - connectivities[n]) / d for n in survivors])
+
+
+def experiment():
+    rows = []
+    variances = {}
+    for d in D_SWEEP:
+        samples = np.concatenate(
+            [_fractions(d, 900 + 37 * d + r) for r in range(REPEATS)]
+        )
+        mean = float(samples.mean())
+        variance = float(samples.var())
+        variances[d] = variance
+        rows.append([d, 12 * d, mean, P, variance, variance * d])
+    return rows, variances
+
+
+def test_e9_d_sweep(benchmark):
+    rows, variances = run_once(benchmark, experiment)
+    emit_table(
+        "e9_d_sweep",
+        ["d", "k", "mean fraction lost", "p (paper)", "variance", "variance × d"],
+        rows,
+        title=f"E9 — §7 d sweep at fixed p={P} (fraction of bandwidth lost)",
+    )
+    # expected fraction lost ≈ p, independent of d
+    means = [row[2] for row in rows]
+    for mean in means:
+        assert abs(mean - P) < 0.05
+    assert max(means) - min(means) < 0.04
+    # variance decreases with d (the paper's conjecture)
+    assert variances[D_SWEEP[-1]] < variances[D_SWEEP[0]]

@@ -1,0 +1,69 @@
+"""X10 — which overlay actually expands?  Spectral gaps across topologies.
+
+The lazy-walk spectral gap 1 − λ₂ separates expanders (constant gap)
+from path-like graphs (gap ~ 1/diameter²).  Measured across doubling
+populations, the result sharpens §1's "random graphs expand" intuition:
+
+* the §6 **random-graph** overlay is a true expander — constant gap —
+  which is exactly why its delay is logarithmic (E6) and why it can
+  self-sustain (X2);
+* the **curtain** overlay is NOT a spectral expander at fixed k: its
+  column chains have length Θ(N·d/k), so the gap decays like a path's —
+  indeed slightly *below* the plain-chain baseline, whose paths are a
+  factor d shorter.  The curtain's robustness (Theorems 4/5) comes from
+  d-fold *connectivity* — every node keeps d disjoint server paths —
+  not from rapid mixing.  Expansion shows up in its *ancestor tree*
+  (≈ d² grandparents, tested in `test_analysis_misc`), not in the
+  symmetric walk.
+
+Delay and mixing are what the curtain trades away for acyclicity; E6,
+X2 and this table are three views of the same trade.
+"""
+
+import numpy as np
+
+from repro.analysis import spectral_gap
+from repro.baselines import ChainOverlay
+from repro.core import OverlayNetwork, RandomGraphOverlay
+
+from conftest import emit_table, run_once
+
+K, D = 12, 3
+POPULATIONS = (100, 200, 400)
+
+
+def experiment():
+    rows = []
+    gaps = {}
+    for n in POPULATIONS:
+        net = OverlayNetwork(k=K, d=D, seed=41)
+        net.grow(n)
+        curtain = spectral_gap(net.graph())
+        overlay = RandomGraphOverlay(k=K, d=D, seed=42)
+        overlay.grow(n)
+        random_gap = spectral_gap(overlay.to_overlay_graph())
+        chain = spectral_gap(ChainOverlay(k=K, population=n).to_overlay_graph())
+        gaps[n] = (curtain, random_gap, chain)
+        rows.append([n, curtain, random_gap, chain])
+    return rows, gaps
+
+
+def test_x10_spectral(benchmark):
+    rows, gaps = run_once(benchmark, experiment)
+    emit_table(
+        "x10_spectral",
+        ["N", "curtain gap", "random-graph gap", "chain gap"],
+        rows,
+        title=f"X10 — lazy-walk spectral gap 1 - lambda_2 (k={K}, d={D})",
+    )
+    first, last = POPULATIONS[0], POPULATIONS[-1]
+    # the random graph is a true expander: gap roughly constant and large
+    assert gaps[last][1] > 0.5 * gaps[first][1]
+    assert gaps[last][1] > 0.02
+    # the curtain and the chain baseline are both path-like: gaps decay
+    assert gaps[last][0] < 0.25 * gaps[first][0]
+    assert gaps[last][2] < 0.25 * gaps[first][2]
+    # and the random graph dominates both by an order of magnitude
+    for n in POPULATIONS:
+        curtain, random_gap, chain = gaps[n]
+        assert random_gap > 10 * max(curtain, chain)

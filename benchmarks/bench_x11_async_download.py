@@ -1,0 +1,72 @@
+"""X11 — asynchronous downloads: does joining late cost you?
+
+§1 frames downloads as deferred synchronous transmission; §2 notes users
+"join the system at any time".  The practical question for a download
+swarm: is a latecomer's download as fast as an early bird's?  It should
+be — the overlay's serving capacity comes from the peers, which are all
+still there (and all hold the content's degrees of freedom), while the
+server's load stays k threads regardless.
+
+We run a download session with steady arrivals, bucket completed nodes
+by join time, and compare their download durations measured on their
+own clocks.
+"""
+
+import numpy as np
+
+from repro.sim import SessionConfig, run_session
+
+from conftest import emit_table, run_once
+
+CONFIG = SessionConfig(
+    k=14, d=2, population=20, content_size=2000,
+    generation_size=8, payload_size=50,
+    join_rate=3, repair_interval=8,
+    max_slots=700, seed=77,
+)
+BUCKETS = ((0, 0), (1, 24), (25, 48), (49, 120))
+
+
+def experiment():
+    result = run_session(CONFIG)
+    durations = result.download_durations()
+    rows = []
+    by_bucket = {}
+    for low, high in BUCKETS:
+        sample = [
+            durations[node]
+            for node, joined in result.joined_at.items()
+            if node in durations and low <= joined <= high
+        ]
+        label = "initial swarm" if high == 0 else f"joined slots {low}-{high}"
+        mean = float(np.mean(sample)) if sample else None
+        by_bucket[(low, high)] = (mean, len(sample))
+        rows.append([label, len(sample), mean])
+    return rows, by_bucket, result
+
+
+def test_x11_async_download(benchmark):
+    rows, by_bucket, result = run_once(benchmark, experiment)
+    emit_table(
+        "x11_async_download",
+        ["join window", "completed nodes", "mean download slots (own clock)"],
+        rows,
+        title=(
+            f"X11 — download duration vs join time (k={CONFIG.k}, "
+            f"d={CONFIG.d}, {CONFIG.join_rate} joins per "
+            f"{CONFIG.repair_interval}-slot interval)"
+        ),
+    )
+    initial_mean, initial_n = by_bucket[(0, 0)]
+    assert initial_n >= 10 and initial_mean is not None
+    # every later bucket with data downloads within 2.5x the initial
+    # swarm's duration — no penalty that grows with swarm age
+    later = [
+        mean for (low, high), (mean, n) in by_bucket.items()
+        if high != 0 and n >= 3 and mean is not None
+    ]
+    assert later, "later buckets must have completions"
+    for mean in later:
+        assert mean <= 2.5 * initial_mean
+    # and the LAST bucket is not slower than the first later bucket + slack
+    assert later[-1] <= later[0] * 2.0 + 10

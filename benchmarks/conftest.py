@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each ``bench_e*.py`` module reproduces one experiment from DESIGN.md §3.
+The timed body runs once under pytest-benchmark (``pedantic`` with a
+single round — these are experiments, not micro-benchmarks; E13 holds the
+true micro-benchmarks).  Every experiment renders its paper-vs-measured
+table with :func:`emit_table`, which prints it (visible with ``-s``) and
+writes it to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.metrics import render_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_table(name: str, headers, rows, title: str = "") -> str:
+    """Render, print and persist one experiment table."""
+    table = render_table(headers, rows, title=title)
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(table + "\n")
+    return table
+
+
+def run_once(benchmark, fn):
+    """Run an experiment body exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Heterogeneous users (§5): DSL, cable and T1 peers in one overlay.
+
+"The design of the system does not use [equal bandwidth] anywhere."
+Users join with a `d` matching their access link; the analysis shows
+each class receives bandwidth proportional to its degree — which is what
+makes priority encoding transmission (PET [2]) work: receivers with more
+threads decode more resolution layers of the same broadcast.
+
+Run:  python examples/heterogeneous_swarm.py
+"""
+
+import numpy as np
+
+from repro.baselines import MDSCode
+from repro.core import (
+    DEFAULT_CLASSES,
+    OverlayNetwork,
+    class_connectivity_report,
+    join_population,
+)
+from repro.failures import RandomBatchFailures, apply_failures
+
+K = 32
+POPULATION = 120
+SEED = 19
+
+
+def main() -> None:
+    net = OverlayNetwork(k=K, d=4, seed=SEED)
+    rng = np.random.default_rng(SEED)
+    membership = join_population(
+        net, DEFAULT_CLASSES, weights=[5, 3, 1], count=POPULATION, rng=rng
+    )
+    mix = {
+        cls.name: sum(1 for c in membership.values() if c.name == cls.name)
+        for cls in DEFAULT_CLASSES
+    }
+    print(f"swarm of {POPULATION}: {mix}")
+
+    # a batch failure hits 8% of the swarm
+    apply_failures(net, RandomBatchFailures(0.08), rng)
+    report = class_connectivity_report(
+        net, {n: c for n, c in membership.items() if n not in net.failed}
+    )
+    print("\nper-class bandwidth after an 8% batch failure:")
+    for name in ("dsl", "cable", "t1"):
+        row = report[name]
+        print(f"  {name:6s} nodes={row['nodes']:4.0f}  "
+              f"mean connectivity={row['mean_connectivity']:.2f} units  "
+              f"fraction of nominal={row['mean_fraction']:.1%}")
+    print("every class loses the same *fraction* ≈ p — loss is proportional,")
+    print("so layered (PET) encodings degrade gracefully per class.")
+
+    # PET sketch: 3 resolution layers coded so that any m of 8 stripes
+    # recover layer m's quality.  A peer's class determines how many
+    # stripes (units) it receives, hence which layer it can decode.
+    print("\npriority encoding sketch (8 stripes, layers at m = 2, 4, 8):")
+    code = MDSCode(n=8, m=2)
+    base_layer = rng.integers(0, 256, size=(2, 64), dtype=np.uint8)
+    stripes = code.encode(base_layer)
+    # a DSL peer (2 units) picks up any 2 stripes and decodes the base layer
+    picked = [1, 6]
+    recovered = code.decode(picked, stripes[picked])
+    print(f"  dsl peer decodes base layer from stripes {picked}: "
+          f"{bool(np.array_equal(recovered, base_layer))}")
+    print("  cable peers (4 units) add the middle layer; T1 peers (8) get all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Measurement tooling: flows, connectivity, defects, expansion, delay.
+
+This package answers the quantitative questions the paper's theorems pose
+about a concrete overlay snapshot: what is each node's edge-connectivity
+from the server?  what fraction of hanging-thread d-tuples are defective?
+how deep is the pipeline?  how fast do ancestor sets grow?
+"""
+
+from .capacity import (
+    CapacityReport,
+    broadcast_capacity,
+    capacity_matches_branchings,
+)
+from .cuts import cut_mentions_failed_parents, min_cut
+from .connectivity import (
+    TupleConnectivitySolver,
+    all_node_connectivities,
+    graph_to_flow_network,
+    node_connectivity,
+)
+from .defects import (
+    DefectSummary,
+    defect_of_columns,
+    exact_defect,
+    sampled_defect,
+    tuple_space_size,
+)
+from .delay import DelayProfile, delay_profile, pipeline_depth_profile
+from .expansion import ancestor_counts, mean_grandparent_count, vertex_expansion_sample
+from .flows import FlowNetwork
+from .spectral import expansion_report, spectral_gap, symmetric_adjacency
+from .trajectory import (
+    DefectTrajectory,
+    TrajectoryPoint,
+    measure_defect_trajectory,
+)
+from .stats import (
+    Estimate,
+    chi_square_same_distribution,
+    ks_same_distribution,
+    mean_ci,
+    proportion_ci,
+)
+
+__all__ = [
+    "CapacityReport",
+    "DefectSummary",
+    "DefectTrajectory",
+    "broadcast_capacity",
+    "capacity_matches_branchings",
+    "DelayProfile",
+    "Estimate",
+    "FlowNetwork",
+    "TupleConnectivitySolver",
+    "all_node_connectivities",
+    "ancestor_counts",
+    "chi_square_same_distribution",
+    "cut_mentions_failed_parents",
+    "defect_of_columns",
+    "min_cut",
+    "delay_profile",
+    "exact_defect",
+    "expansion_report",
+    "graph_to_flow_network",
+    "ks_same_distribution",
+    "mean_ci",
+    "mean_grandparent_count",
+    "measure_defect_trajectory",
+    "TrajectoryPoint",
+    "node_connectivity",
+    "pipeline_depth_profile",
+    "proportion_ci",
+    "sampled_defect",
+    "spectral_gap",
+    "symmetric_adjacency",
+    "tuple_space_size",
+    "vertex_expansion_sample",
+]

@@ -1,0 +1,86 @@
+"""Broadcast capacity: what rate can this overlay deliver to everyone?
+
+By the network-coding theorem [1] the broadcast capacity of a network is
+``min over receivers of maxflow(server → receiver)`` — and Edmonds'
+theorem [8] says routing over edge-disjoint branchings achieves the same
+number when every node is a receiver.  Network coding's win is not rate
+but *simplicity and churn-tolerance* (§1).  This module computes the
+capacity, identifies the bottleneck receivers, and verifies the
+coding-equals-branchings equivalence that the paper leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Optional
+
+from ..core.matrix import ThreadMatrix
+from .connectivity import all_node_connectivities
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Broadcast capacity of one overlay snapshot.
+
+    Attributes:
+        capacity: The min-cut broadcast rate (threads/unit time).
+        bottlenecks: Working nodes achieving exactly the capacity.
+        connectivity: Per-node edge-connectivity from the server.
+        mean_connectivity: Average over working nodes.
+    """
+
+    capacity: int
+    bottlenecks: tuple[int, ...]
+    connectivity: dict[int, int]
+    mean_connectivity: float
+
+
+def broadcast_capacity(
+    matrix: ThreadMatrix,
+    failed: Optional[AbstractSet[int]] = None,
+) -> CapacityReport:
+    """Capacity and bottleneck set of the working overlay.
+
+    An empty overlay (or one where every node failed) reports capacity 0
+    with no bottlenecks.
+    """
+    failed = failed or frozenset()
+    working = [n for n in matrix.node_ids if n not in failed]
+    if not working:
+        return CapacityReport(capacity=0, bottlenecks=(),
+                              connectivity={}, mean_connectivity=0.0)
+    connectivity = all_node_connectivities(matrix, failed, working)
+    capacity = min(connectivity.values())
+    bottlenecks = tuple(
+        node for node in working if connectivity[node] == capacity
+    )
+    mean = sum(connectivity.values()) / len(working)
+    return CapacityReport(
+        capacity=capacity,
+        bottlenecks=bottlenecks,
+        connectivity=connectivity,
+        mean_connectivity=mean,
+    )
+
+
+def capacity_matches_branchings(
+    matrix: ThreadMatrix,
+    failed: Optional[AbstractSet[int]] = None,
+) -> bool:
+    """Check Edmonds' equivalence on the working overlay.
+
+    Attempts to pack ``capacity`` edge-disjoint spanning arborescences in
+    the working graph; Edmonds' theorem says this must succeed.  Intended
+    for small overlays (the packing algorithm is polynomial but heavy).
+    """
+    import numpy as np
+
+    from ..baselines.edmonds import pack_arborescences, verify_packing
+    from ..core.topology import build_overlay_graph
+
+    report = broadcast_capacity(matrix, failed)
+    if report.capacity == 0:
+        return True
+    graph = build_overlay_graph(matrix, failed or frozenset())
+    trees = pack_arborescences(graph, report.capacity, np.random.default_rng(0))
+    return verify_packing(graph, trees)

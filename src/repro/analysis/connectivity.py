@@ -1,0 +1,128 @@
+"""Edge-connectivity measurements on the overlay.
+
+The network-coding theorem (Ahlswede et al. [1]) says every node can
+receive the broadcast at a rate equal to its edge-connectivity from the
+server, so *connectivity is throughput* at the flow level.  This module
+measures it: per existing node, and for hypothetical ``d``-tuples of
+hanging threads (the quantity driving the paper's defect analysis).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Optional, Sequence
+
+from ..core.matrix import SERVER, ThreadMatrix
+from ..core.topology import OverlayGraph, build_overlay_graph
+from .flows import FlowNetwork
+
+#: Sentinel sink vertex used for tuple-connectivity queries.
+_TUPLE_SINK = "__tuple_sink__"
+
+
+def graph_to_flow_network(graph: OverlayGraph) -> FlowNetwork:
+    """Translate an overlay multigraph into a flow network.
+
+    Parallel thread segments become a single edge whose capacity is the
+    multiplicity.
+    """
+    network = FlowNetwork()
+    network.vertex(SERVER)
+    for node in graph.nodes:
+        network.vertex(node)
+    for u, targets in graph.succ.items():
+        for v, multiplicity in targets.items():
+            network.add_edge(u, v, multiplicity)
+    return network
+
+
+def node_connectivity(
+    matrix: ThreadMatrix,
+    node_id: int,
+    failed: Optional[AbstractSet[int]] = None,
+) -> int:
+    """Edge-connectivity from the server to one working node."""
+    failed = failed or frozenset()
+    if node_id in failed:
+        return 0
+    graph = build_overlay_graph(matrix, failed)
+    network = graph_to_flow_network(graph)
+    return network.max_flow(SERVER, node_id)
+
+
+def all_node_connectivities(
+    matrix: ThreadMatrix,
+    failed: Optional[AbstractSet[int]] = None,
+    nodes: Optional[Iterable[int]] = None,
+) -> dict[int, int]:
+    """Edge-connectivity from the server for many nodes at once.
+
+    Builds the flow network once and reuses it via snapshot/restore.
+    """
+    failed = failed or frozenset()
+    graph = build_overlay_graph(matrix, failed)
+    network = graph_to_flow_network(graph)
+    base = network.snapshot()
+    result: dict[int, int] = {}
+    targets = list(nodes) if nodes is not None else matrix.node_ids
+    for node_id in targets:
+        if node_id in failed or node_id not in graph.nodes:
+            result[node_id] = 0
+            continue
+        result[node_id] = network.max_flow(SERVER, node_id)
+        network.restore(base)
+    return result
+
+
+class TupleConnectivitySolver:
+    """Repeated connectivity queries for d-tuples of hanging threads.
+
+    A query asks: if a new node clipped the hanging threads of columns
+    ``C = (c_1 .. c_d)``, what edge-connectivity from the server would it
+    get?  Implemented as max-flow to a virtual sink fed by the hanging
+    threads' working owners (one unit per chosen column; dead threads —
+    those whose bottom occupant failed — contribute nothing).
+
+    The base graph is built once; each query adds temporary sink edges,
+    solves, and rewinds.
+    """
+
+    def __init__(
+        self,
+        matrix: ThreadMatrix,
+        failed: Optional[AbstractSet[int]] = None,
+    ) -> None:
+        self.matrix = matrix
+        self.failed = frozenset(failed or frozenset())
+        self.graph = build_overlay_graph(matrix, self.failed)
+        self.network = graph_to_flow_network(self.graph)
+        self.network.vertex(_TUPLE_SINK)
+        self._base_caps = self.network.snapshot()
+        # column -> working owner (or None when the hanging thread is dead)
+        self._owner: list[Optional[int]] = []
+        for column in range(matrix.k):
+            owner = matrix.hanging_owner(column)
+            if owner != SERVER and owner in self.failed:
+                self._owner.append(None)
+            else:
+                self._owner.append(owner)
+
+    def connectivity(self, columns: Sequence[int]) -> int:
+        """Connectivity a new node would get from this column tuple."""
+        mark = self.network.edge_mark()
+        live = 0
+        for column in columns:
+            owner = self._owner[column]
+            if owner is None:
+                continue
+            self.network.add_edge(owner, _TUPLE_SINK, 1)
+            live += 1
+        if live == 0:
+            return 0
+        flow = self.network.max_flow(SERVER, _TUPLE_SINK, limit=len(columns))
+        self.network.truncate(mark)
+        self.network.restore(self._base_caps)
+        return flow
+
+    def defect(self, columns: Sequence[int]) -> int:
+        """Connectivity shortfall ``d - connectivity`` of a column tuple."""
+        return len(columns) - self.connectivity(columns)

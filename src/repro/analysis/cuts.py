@@ -1,0 +1,85 @@
+"""Min-cut witnesses: *which* threads bottleneck a node.
+
+Max-flow gives a number; the dual cut explains it.  For a node with
+connectivity c < d, the witness cut is the set of c thread segments
+whose loss separates it from the server — in practice, the failed
+parents' surviving siblings and the narrow waist above them.  Useful for
+diagnostics ("why is peer 17 degraded?") and for tests that assert not
+just the capacity but its structure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import AbstractSet, Optional
+
+from ..core.matrix import SERVER, ThreadMatrix
+from ..core.topology import build_overlay_graph
+from .connectivity import graph_to_flow_network
+
+
+def min_cut(
+    matrix: ThreadMatrix,
+    node_id: int,
+    failed: Optional[AbstractSet[int]] = None,
+) -> tuple[int, list[tuple[int, int]]]:
+    """Connectivity of ``node_id`` and a witness edge cut.
+
+    Returns ``(value, cut)`` where ``cut`` lists ``(u, v)`` pairs (with
+    multiplicity — a pair carrying two saturated threads appears twice)
+    whose removal separates the server from the node in the working
+    graph.  ``len(cut) == value`` (max-flow = min-cut).  A failed or
+    absent node reports ``(0, [])``.
+    """
+    failed = failed or frozenset()
+    if node_id in failed or node_id not in matrix:
+        return 0, []
+    graph = build_overlay_graph(matrix, failed)
+    network = graph_to_flow_network(graph)
+    value = network.max_flow(SERVER, node_id)
+    # Residual reachability from the server: saturated edges leaving the
+    # reachable set form a minimum cut.
+    adj, to, cap = network._adj, network._to, network._cap
+    source = network._index[SERVER]
+    reachable = {source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for edge_id in adj[u]:
+            if cap[edge_id] > 0 and to[edge_id] not in reachable:
+                reachable.add(to[edge_id])
+                queue.append(to[edge_id])
+    index_to_name = {index: name for name, index in network._index.items()}
+    cut: list[tuple[int, int]] = []
+    for u in reachable:
+        for edge_id in adj[u]:
+            if edge_id % 2:
+                continue  # residual reverse edge
+            v = to[edge_id]
+            if v in reachable:
+                continue
+            # original capacity = forward remaining + reverse gained
+            flow_through = cap[edge_id ^ 1]
+            for _ in range(flow_through):
+                cut.append((index_to_name[u], index_to_name[v]))
+    return value, cut
+
+
+def cut_mentions_failed_parents(
+    matrix: ThreadMatrix,
+    node_id: int,
+    failed: AbstractSet[int],
+) -> bool:
+    """Heuristic check: does the degradation trace to failed parents?
+
+    True when the node's connectivity shortfall equals the number of its
+    threads whose parent failed — the Theorem 4 local-containment
+    signature.  False means deeper (non-local) damage contributed.
+    """
+    value, _ = min_cut(matrix, node_id, failed)
+    degree = matrix.row(node_id).degree
+    dead_threads = sum(
+        1 for parent in matrix.parents_of(node_id).values()
+        if parent != SERVER and parent in failed
+    )
+    return degree - value == dead_threads

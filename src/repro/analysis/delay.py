@@ -1,0 +1,79 @@
+"""Delay measurements (§6): pipeline depth of overlay topologies.
+
+In the slotted model each hop adds one unit of delay, so a node's
+streaming latency is its hop depth from the server.  The curtain model's
+column chains make depth grow linearly with population; the §6
+random-graph variant is an expander, giving logarithmic depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.topology import OverlayGraph
+
+
+@dataclass(frozen=True)
+class DelayProfile:
+    """Depth statistics of one overlay snapshot.
+
+    Attributes:
+        population: Number of working nodes measured.
+        mean_depth: Mean shortest-path hop depth from the server.
+        max_depth: Maximum shortest-path hop depth (the delay straggler).
+        p95_depth: 95th percentile depth.
+        unreachable: Nodes with no path from the server at all.
+    """
+
+    population: int
+    mean_depth: float
+    max_depth: int
+    p95_depth: float
+    unreachable: int
+
+
+def delay_profile(graph: OverlayGraph) -> DelayProfile:
+    """Compute the :class:`DelayProfile` of an overlay snapshot."""
+    depths = graph.depths_from_server()
+    reachable = [depth for node, depth in depths.items() if node in graph.nodes]
+    unreachable = len(graph.nodes) - len(reachable)
+    if not reachable:
+        return DelayProfile(
+            population=len(graph.nodes), mean_depth=0.0, max_depth=0,
+            p95_depth=0.0, unreachable=unreachable,
+        )
+    array = np.asarray(reachable, dtype=float)
+    return DelayProfile(
+        population=len(graph.nodes),
+        mean_depth=float(array.mean()),
+        max_depth=int(array.max()),
+        p95_depth=float(np.percentile(array, 95)),
+        unreachable=unreachable,
+    )
+
+
+def pipeline_depth_profile(graph: OverlayGraph) -> DelayProfile:
+    """Like :func:`delay_profile` but using *longest*-path depth.
+
+    For acyclic overlays this is the worst-case buffering delay before a
+    node can receive at full rate through all its threads; it raises on
+    cyclic graphs (use the shortest-path profile there).
+    """
+    depths = graph.longest_depths_from_server()
+    reachable = [depth for node, depth in depths.items() if node in graph.nodes]
+    unreachable = len(graph.nodes) - len(reachable)
+    if not reachable:
+        return DelayProfile(
+            population=len(graph.nodes), mean_depth=0.0, max_depth=0,
+            p95_depth=0.0, unreachable=unreachable,
+        )
+    array = np.asarray(reachable, dtype=float)
+    return DelayProfile(
+        population=len(graph.nodes),
+        mean_depth=float(array.mean()),
+        max_depth=int(array.max()),
+        p95_depth=float(np.percentile(array, 95)),
+        unreachable=unreachable,
+    )

@@ -1,0 +1,82 @@
+"""Expansion metrics of the overlay graph.
+
+The intuition in §1: random graphs expand — a node with ``d`` parents has
+about ``d²`` grandparents, so losing a grandparent rarely costs
+connectivity.  These helpers quantify ancestor growth and vertex
+expansion so the scalability experiments can exhibit the property the
+proofs rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.matrix import SERVER
+from ..core.topology import OverlayGraph
+
+
+def ancestor_counts(graph: OverlayGraph, node_id: int, depth: int) -> list[int]:
+    """Number of distinct ancestors at each hop distance ``1..depth``.
+
+    ``result[0]`` is the number of distinct parents, ``result[1]`` the
+    number of distinct grandparents not already counted closer, etc.  The
+    server is excluded from every level.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    seen = {node_id}
+    frontier = {node_id}
+    counts = []
+    for _ in range(depth):
+        next_frontier = set()
+        for node in frontier:
+            for parent in graph.parents(node):
+                if parent != SERVER and parent not in seen:
+                    next_frontier.add(parent)
+        seen.update(next_frontier)
+        counts.append(len(next_frontier))
+        frontier = next_frontier
+        if not frontier:
+            break
+    while len(counts) < depth:
+        counts.append(0)
+    return counts
+
+
+def mean_grandparent_count(graph: OverlayGraph, nodes: Iterable[int]) -> float:
+    """Average number of distinct grandparents over the given nodes.
+
+    The §1 heuristic predicts ≈ d² for nodes deep enough to have two full
+    ancestor generations.
+    """
+    values = [ancestor_counts(graph, node, 2)[1] for node in nodes]
+    return float(np.mean(values)) if values else 0.0
+
+
+def vertex_expansion_sample(
+    graph: OverlayGraph,
+    rng: np.random.Generator,
+    set_size: int,
+    samples: int = 50,
+) -> float:
+    """Estimate the out-neighbourhood expansion of random node sets.
+
+    Returns the mean of ``|N⁺(S) \\ S| / |S|`` over ``samples`` random
+    subsets ``S`` of ``set_size`` working nodes.  Expanders keep this
+    ratio bounded away from zero as the graph grows.
+    """
+    nodes = sorted(graph.nodes)
+    if len(nodes) < set_size:
+        raise ValueError("set_size exceeds node count")
+    ratios = []
+    for _ in range(samples):
+        chosen = {nodes[int(i)] for i in rng.choice(len(nodes), size=set_size, replace=False)}
+        boundary = set()
+        for node in chosen:
+            for child in graph.children(node):
+                if child not in chosen:
+                    boundary.add(child)
+        ratios.append(len(boundary) / set_size)
+    return float(np.mean(ratios))

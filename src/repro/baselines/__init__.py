@@ -1,0 +1,47 @@
+"""Baselines the paper motivates against.
+
+* :class:`ChainOverlay` — the distribution path (§1 strawman).
+* :class:`StripedTrees` — SplitStream-style multiple multicast trees [4].
+* :mod:`repro.baselines.edmonds` — optimal branchings packing [8] and its
+  fragility under failures.
+* :class:`MDSCode` / erasure striping — Reed–Solomon-coded multi-parent
+  overlays (no in-network mixing).
+* :class:`FloodingSimulation` — uncoded store-and-forward.
+"""
+
+from .chain import ChainOverlay
+from .edmonds import (
+    Packing,
+    TreeRoutingOutcome,
+    curtain_tree_decomposition,
+    pack_arborescences,
+    route_stripes,
+    verify_packing,
+)
+from .erasure import (
+    ErasureOutcome,
+    MDSCode,
+    evaluate_erasure_overlay,
+    stripes_received,
+)
+from .rarest_first import RarestFirstSimulation
+from .store_forward import FloodingReport, FloodingSimulation
+from .trees import StripedTrees
+
+__all__ = [
+    "ChainOverlay",
+    "ErasureOutcome",
+    "FloodingReport",
+    "FloodingSimulation",
+    "MDSCode",
+    "Packing",
+    "RarestFirstSimulation",
+    "StripedTrees",
+    "TreeRoutingOutcome",
+    "curtain_tree_decomposition",
+    "evaluate_erasure_overlay",
+    "pack_arborescences",
+    "route_stripes",
+    "stripes_received",
+    "verify_packing",
+]

@@ -1,0 +1,249 @@
+"""Baseline 3 — Edmonds' edge-disjoint branchings ("the theoretical
+solution", §1).
+
+Edmonds' theorem [8]: a digraph contains ``d`` edge-disjoint spanning
+arborescences rooted at ``r`` iff every vertex has edge-connectivity at
+least ``d`` from ``r``.  Routing one content stripe down each
+arborescence achieves the full broadcast capacity — optimally — but, as
+the paper stresses, the partition must be *recomputed whenever a node
+fails*, which is impractical for short-lived failures.  Network coding
+reaches the same rate with no trees at all.
+
+Two constructions:
+
+* :func:`curtain_tree_decomposition` — the curtain overlay's DAG has
+  in-degree exactly ``d`` at every node, so colouring each node's ``d``
+  incoming threads with distinct tree indices *is* a valid packing
+  (every colour class gives each node exactly one parent that joined
+  earlier, hence an arborescence rooted at the server).  O(N·d).
+* :func:`pack_arborescences` — the general Lovász-style constructive
+  algorithm with max-flow safety checks, for arbitrary graphs (small
+  instances; used as a cross-check oracle and for post-failure repacking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.flows import FlowNetwork
+from ..core.matrix import SERVER, ThreadMatrix
+from ..core.topology import OverlayGraph
+
+#: A packing: ``trees[t][v]`` is v's parent in arborescence ``t``.
+Packing = list[dict[int, int]]
+
+
+def curtain_tree_decomposition(matrix: ThreadMatrix) -> Packing:
+    """Colour each node's incoming threads into ``d`` arborescences.
+
+    Requires a uniform-degree matrix (every row the same ``d``).  The
+    t-th tree assigns every node its parent on its t-th column (in sorted
+    column order) — parents always joined earlier, so each colour class
+    is a spanning arborescence rooted at the server, and the classes are
+    edge-disjoint because they use disjoint thread segments.
+    """
+    node_ids = matrix.node_ids
+    if not node_ids:
+        return []
+    degrees = {matrix.row(n).degree for n in node_ids}
+    if len(degrees) != 1:
+        raise ValueError("curtain decomposition requires uniform degree")
+    d = degrees.pop()
+    trees: Packing = [dict() for _ in range(d)]
+    for node_id in node_ids:
+        parents = matrix.parents_of(node_id)
+        for t, column in enumerate(sorted(parents)):
+            trees[t][node_id] = parents[column]
+    return trees
+
+
+def verify_packing(graph: OverlayGraph, trees: Packing) -> bool:
+    """Check a packing: spanning, arborescent, edge-disjoint.
+
+    Each tree must give every graph node exactly one parent, parent
+    chains must reach the server acyclically, and no (u, v) pair may be
+    used by more trees than the edge multiplicity in ``graph``.
+    """
+    usage: dict[tuple[int, int], int] = {}
+    for tree in trees:
+        if set(tree) != set(graph.nodes):
+            return False
+        for v, u in tree.items():
+            if u != SERVER and u not in graph.nodes:
+                return False
+            usage[(u, v)] = usage.get((u, v), 0) + 1
+        # Acyclicity / rootedness: follow chains with a visited guard.
+        state: dict[int, int] = {}  # 0=in progress, 1=done
+        for start in tree:
+            path = []
+            v = start
+            while v != SERVER and state.get(v) != 1:
+                if state.get(v) == 0:
+                    return False  # cycle
+                state[v] = 0
+                path.append(v)
+                v = tree[v]
+            for w in path:
+                state[w] = 1
+    for (u, v), count in usage.items():
+        if count > graph.succ.get(u, {}).get(v, 0):
+            return False
+    return True
+
+
+def _connectivities(
+    graph_edges: dict[tuple[int, int], int],
+    targets: list[int],
+    limit: int,
+) -> dict[int, int]:
+    """λ(SERVER → v) for each target, capped at ``limit``."""
+    result = {}
+    network = FlowNetwork()
+    network.vertex(SERVER)
+    for (u, v), mult in graph_edges.items():
+        network.add_edge(u, v, mult)
+    base = network.snapshot()
+    for v in targets:
+        if not network.has_vertex(v):
+            result[v] = 0
+            continue
+        result[v] = network.max_flow(SERVER, v, limit=limit)
+        network.restore(base)
+    return result
+
+
+def pack_arborescences(
+    graph: OverlayGraph,
+    count: int,
+    rng: Optional[np.random.Generator] = None,
+    max_candidate_tries: Optional[int] = None,
+) -> Packing:
+    """General Lovász-style packing of ``count`` arborescences.
+
+    Grows each arborescence edge by edge; an edge is accepted only if the
+    residual graph still supports the remaining requirement (``count - i``
+    full trees' worth of connectivity for vertices not yet spanned,
+    one less for vertices already spanned).  Edmonds' theorem guarantees
+    a safe edge always exists when the input connectivity suffices;
+    raises ``ValueError`` otherwise.
+
+    Exponentially safer but polynomially slower than the curtain fast
+    path — intended for small graphs (N up to a few hundred).
+    """
+    rng = rng or np.random.default_rng()
+    nodes = sorted(graph.nodes)
+    edges: dict[tuple[int, int], int] = {}
+    for u, targets in graph.succ.items():
+        for v, mult in targets.items():
+            edges[(u, v)] = mult
+    initial = _connectivities(edges, nodes, count)
+    short = [v for v, c in initial.items() if c < count]
+    if short:
+        raise ValueError(
+            f"connectivity below {count} at nodes {short[:5]} — packing impossible"
+        )
+    trees: Packing = []
+    for i in range(count):
+        remaining = count - i  # trees still to build, including this one
+        tree: dict[int, int] = {}
+        in_tree = {SERVER}
+        while len(tree) < len(nodes):
+            frontier = [
+                (u, v)
+                for (u, v), mult in edges.items()
+                if mult > 0 and u in in_tree and v not in in_tree
+            ]
+            if not frontier:
+                raise ValueError("frontier empty — input violated the invariant")
+            order = list(rng.permutation(len(frontier)))
+            tries = len(order) if max_candidate_tries is None else min(
+                len(order), max_candidate_tries
+            )
+            accepted = None
+            for index in order[:tries]:
+                u, v = frontier[int(index)]
+                edges[(u, v)] -= 1
+                # Lovász's extension lemma: e is safe iff, with the tree
+                # edges so far and e removed, EVERY vertex still has
+                # connectivity >= remaining - 1 (enough for the trees
+                # still to come).  A safe edge always exists.
+                if remaining - 1 == 0:
+                    accepted = (u, v)
+                    break
+                lambdas = _connectivities(edges, nodes, remaining - 1)
+                if all(c >= remaining - 1 for c in lambdas.values()):
+                    accepted = (u, v)
+                    break
+                edges[(u, v)] += 1  # roll back, try next candidate
+            if accepted is None:
+                raise ValueError("no safe edge found — packing failed")
+            u, v = accepted
+            tree[v] = u
+            in_tree.add(v)
+        trees.append(tree)
+    return trees
+
+
+@dataclass(frozen=True)
+class TreeRoutingOutcome:
+    """Delivery outcome of routing stripes down a fixed packing.
+
+    Attributes:
+        mean_stripe_fraction: Mean (over working nodes) fraction of
+            stripes whose tree path was all-working.
+        full_delivery_fraction: Working nodes that received every stripe.
+        affected_by_failure: Working nodes that lost at least one stripe.
+    """
+
+    mean_stripe_fraction: float
+    full_delivery_fraction: float
+    affected_by_failure: float
+
+
+def route_stripes(
+    trees: Packing,
+    failed: set[int],
+    nodes: Optional[list[int]] = None,
+) -> TreeRoutingOutcome:
+    """Evaluate a fixed packing under a failure set — no recomputation.
+
+    A node receives stripe ``t`` iff its entire parent chain in tree ``t``
+    is working.  This is the fragility the paper contrasts with coding:
+    the packing was optimal when computed, but failures break whole
+    subtrees until trees are recomputed.
+    """
+    if not trees:
+        return TreeRoutingOutcome(1.0, 1.0, 0.0)
+    population = nodes if nodes is not None else sorted(trees[0])
+    working = [v for v in population if v not in failed]
+    if not working:
+        return TreeRoutingOutcome(1.0, 1.0, 0.0)
+    fractions = []
+    full = 0
+    affected = 0
+    # memoised chain evaluation per tree
+    for v in working:
+        got = 0
+        for tree in trees:
+            ok = True
+            w = v
+            while w != SERVER:
+                w = tree[w]
+                if w != SERVER and w in failed:
+                    ok = False
+                    break
+            if ok:
+                got += 1
+        fractions.append(got / len(trees))
+        if got == len(trees):
+            full += 1
+        else:
+            affected += 1
+    return TreeRoutingOutcome(
+        mean_stripe_fraction=float(np.mean(fractions)),
+        full_delivery_fraction=full / len(working),
+        affected_by_failure=affected / len(working),
+    )

@@ -1,0 +1,150 @@
+"""Baseline 5 — uncoded store-and-forward (random packet flooding).
+
+Same overlay, same slot discipline as the RLNC simulator, but nodes
+forward a uniformly random *unmodified* packet from their buffer instead
+of a fresh mixture.  Receivers must collect all ``g`` distinct source
+packets — the coupon-collector problem: the last few packets take
+disproportionately long, and duplicate deliveries waste bandwidth.
+Network coding's whole point is that every random mixture is (almost
+surely) useful; this baseline quantifies the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.overlay import OverlayNetwork
+from ..sim.links import LinkStats, LossModel
+from ..sim.rng import RngStreams
+
+
+@dataclass
+class FloodingReport:
+    """Outcome of an uncoded flooding run."""
+
+    slots: int
+    completion_fraction: float
+    mean_unique_fraction: float
+    duplicate_fraction: float
+    completion_slots: list[int] = field(default_factory=list)
+
+
+class FloodingSimulation:
+    """Uncoded random forwarding of ``packet_count`` distinct packets.
+
+    Packets are abstract indices (payload content is irrelevant to the
+    collection dynamics).  The server sends a uniformly random packet
+    index down each column each slot (cycling deterministically per
+    column would trap each column in a residue class of the packet
+    indices whenever gcd(k, packet_count) > 1); peers forward a random
+    buffered index per thread per slot.
+    """
+
+    def __init__(
+        self,
+        net: OverlayNetwork,
+        packet_count: int,
+        seed: Optional[int] = None,
+        loss: Optional[LossModel] = None,
+    ) -> None:
+        if packet_count < 1:
+            raise ValueError("packet_count must be >= 1")
+        self.net = net
+        self.packet_count = packet_count
+        self.streams = RngStreams(seed)
+        self.loss = loss or LossModel(0.0)
+        self.slot = 0
+        self.link_stats = LinkStats()
+        self._buffers: dict[int, set[int]] = {}
+        self._received: dict[int, int] = {}
+        self._completed_at: dict[int, int] = {}
+        self._server_cursor = 0
+
+    def buffer_of(self, node_id: int) -> set[int]:
+        buffer = self._buffers.get(node_id)
+        if buffer is None:
+            buffer = set()
+            self._buffers[node_id] = buffer
+            self._received[node_id] = 0
+        return buffer
+
+    def step(self) -> None:
+        """One slot: emissions from current buffers, then delivery."""
+        matrix = self.net.matrix
+        failed = self.net.server.failed
+        forward_rng = self.streams.get("forward")
+        loss_rng = self.streams.get("loss")
+        sends: list[tuple[int, int]] = []
+        server_rng = self.streams.get("server")
+        for column in range(matrix.k):
+            chain = matrix.column_chain(column)
+            if not chain:
+                continue
+            sends.append((chain[0], int(server_rng.integers(0, self.packet_count))))
+            self._server_cursor += 1
+        for node_id in matrix.node_ids:
+            if node_id in failed:
+                continue
+            buffer = self.buffer_of(node_id)
+            if not buffer:
+                continue
+            items = sorted(buffer)
+            for column, child in matrix.children_of(node_id).items():
+                if child is None:
+                    continue
+                pick = items[int(forward_rng.integers(0, len(items)))]
+                sends.append((child, pick))
+        for destination, packet in sends:
+            delivered = destination not in failed and self.loss.delivers(loss_rng)
+            self.link_stats.record(delivered)
+            if not delivered:
+                continue
+            buffer = self.buffer_of(destination)
+            self._received[destination] += 1
+            if packet not in buffer:
+                buffer.add(packet)
+                if (
+                    len(buffer) == self.packet_count
+                    and destination not in self._completed_at
+                ):
+                    self._completed_at[destination] = self.slot
+        self.slot += 1
+
+    def run_until_complete(self, max_slots: int = 10_000) -> FloodingReport:
+        """Run until every working node collects everything (or timeout)."""
+        while self.slot < max_slots:
+            targets = self.net.working_nodes
+            if targets and all(t in self._completed_at for t in targets):
+                break
+            self.step()
+        return self.report()
+
+    def report(self) -> FloodingReport:
+        """Aggregate statistics over the current working nodes."""
+        targets = self.net.working_nodes
+        unique_fractions = []
+        duplicates = 0
+        received = 0
+        done = 0
+        completion = []
+        for node_id in targets:
+            buffer = self._buffers.get(node_id, set())
+            got = self._received.get(node_id, 0)
+            unique_fractions.append(len(buffer) / self.packet_count)
+            duplicates += max(0, got - len(buffer))
+            received += got
+            if node_id in self._completed_at:
+                done += 1
+                completion.append(self._completed_at[node_id])
+        return FloodingReport(
+            slots=self.slot,
+            completion_fraction=done / len(targets) if targets else 0.0,
+            mean_unique_fraction=(
+                float(np.mean(unique_fractions)) if unique_fractions else 0.0
+            ),
+            duplicate_fraction=duplicates / received if received else 0.0,
+            completion_slots=completion,
+        )

@@ -1,0 +1,177 @@
+"""Command-line interface: run scenarios and quick analyses.
+
+Usage::
+
+    python -m repro.cli scenario live_streaming --seed 3
+    python -m repro.cli scenario file_download --population 40
+    python -m repro.cli overlay --k 24 --d 3 --peers 200 --fail 5
+    python -m repro.cli collapse --k 12 --d 2 --p 0.03 --runs 10
+
+The CLI is a thin veneer over the library; everything it prints is
+reachable programmatically (see README quickstart).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from . import workloads
+    from .sim import run_session
+
+    presets = {
+        "live_streaming": workloads.live_streaming,
+        "file_download": workloads.file_download,
+        "flash_crowd": workloads.flash_crowd,
+    }
+    preset = presets[args.name]
+    overrides = {}
+    if args.population:
+        overrides["population"] = args.population
+    if args.max_slots:
+        overrides["max_slots"] = args.max_slots
+    config = preset(seed=args.seed, **overrides)
+    print(f"running scenario {args.name!r}: k={config.k} d={config.d} "
+          f"N={config.population} content={config.content_size}B")
+    result = run_session(config)
+    report = result.report
+    print(f"slots: {report.slots}")
+    print(f"completion: {report.completion_fraction:.1%}")
+    print(f"failures/repairs: {result.failures_injected}/{result.repairs_performed}"
+          f"  joins: {result.joins}  leaves: {result.graceful_leaves}")
+    print(f"link delivery: {report.link_stats.delivery_ratio:.3f}")
+    slots = report.completion_slots()
+    if slots:
+        print(f"decode slots: min {min(slots)} median "
+              f"{sorted(slots)[len(slots) // 2]} max {max(slots)}")
+    bad = [n.node_id for n in report.nodes if n.decoded_ok is False]
+    print(f"corrupt decodes: {len(bad)}")
+    return 0 if not bad else 1
+
+
+def _cmd_overlay(args: argparse.Namespace) -> int:
+    from .analysis import delay_profile
+    from .core import OverlayNetwork
+
+    net = OverlayNetwork(k=args.k, d=args.d, seed=args.seed,
+                         insert_mode=args.insert_mode)
+    net.grow(args.peers)
+    for _ in range(args.fail):
+        net.fail(net.random_working_node())
+    print(f"overlay: k={args.k} d={args.d} peers={net.population} "
+          f"failed={len(net.failed)} insert={args.insert_mode}")
+    print(f"connectivity histogram: {net.connectivity_histogram()}")
+    profile = delay_profile(net.graph())
+    print(f"depth: mean {profile.mean_depth:.1f}  p95 {profile.p95_depth:.0f}  "
+          f"max {profile.max_depth}  unreachable {profile.unreachable}")
+    summary = net.defect_summary(samples=args.defect_samples)
+    print(f"defect (B/A estimate over {summary.samples} tuples): "
+          f"{summary.mean_defect:.4f}  bad-tuple fraction: {summary.bad_fraction:.4f}")
+    return 0
+
+
+def _cmd_trajectory(args: argparse.Namespace) -> int:
+    from .analysis import measure_defect_trajectory
+    from .metrics import sparkline
+    from .theory import theorem4_prediction
+
+    trajectory = measure_defect_trajectory(
+        k=args.k, d=args.d, p=args.p, arrivals=args.arrivals,
+        sample_every=args.sample_every, seed=args.seed,
+    )
+    try:
+        attractor = theorem4_prediction(args.k, args.d, args.p).attractor
+    except ValueError:
+        attractor = None  # outside the drift regime (pd too large)
+    values = trajectory.values
+    ceiling = max(max(values), attractor or 0.0) or 1.0
+    print(f"defect trajectory  k={args.k} d={args.d} p={args.p} "
+          f"({args.arrivals} arrivals, sampled every {args.sample_every})")
+    print(f"  {sparkline(values, low=0.0, high=ceiling)}")
+    print(f"steady-state mean B/A: {trajectory.steady_state_mean():.4f}   "
+          f"peak: {trajectory.peak():.4f}")
+    if attractor is None:
+        print(f"paper: pd = {args.p * args.d:.4f}   "
+              "(pd too large for a drift attractor at this k, d)")
+    else:
+        print(f"paper: pd = {args.p * args.d:.4f}   "
+              f"drift attractor a1 = {attractor:.4f}")
+    return 0
+
+
+def _cmd_collapse(args: argparse.Namespace) -> int:
+    from .theory import collapse_exponent, mean_walk_collapse_time
+
+    rng = np.random.default_rng(args.seed)
+    mean, censored = mean_walk_collapse_time(
+        k=args.k, d=args.d, p=args.p, runs=args.runs, rng=rng,
+        max_steps=args.max_steps,
+    )
+    print(f"k={args.k} d={args.d} p={args.p}  k/d^3={collapse_exponent(args.k, args.d):.2f}")
+    print(f"mean collapse steps over {args.runs} walks: {mean:.0f} "
+          f"({censored} censored at {args.max_steps})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="P2P broadcast overlays with network coding"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scenario = sub.add_parser("scenario", help="run a named end-to-end scenario")
+    scenario.add_argument("name",
+                          choices=["live_streaming", "file_download", "flash_crowd"])
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--population", type=int, default=0)
+    scenario.add_argument("--max-slots", type=int, default=0, dest="max_slots")
+    scenario.set_defaults(func=_cmd_scenario)
+
+    overlay = sub.add_parser("overlay", help="build an overlay and report health")
+    overlay.add_argument("--k", type=int, default=24)
+    overlay.add_argument("--d", type=int, default=3)
+    overlay.add_argument("--peers", type=int, default=200)
+    overlay.add_argument("--fail", type=int, default=0)
+    overlay.add_argument("--seed", type=int, default=0)
+    overlay.add_argument("--insert-mode", choices=["append", "uniform"],
+                         default="append", dest="insert_mode")
+    overlay.add_argument("--defect-samples", type=int, default=200,
+                         dest="defect_samples")
+    overlay.set_defaults(func=_cmd_overlay)
+
+    trajectory = sub.add_parser(
+        "trajectory", help="sample the defect process (Theorem 4 dynamics)"
+    )
+    trajectory.add_argument("--k", type=int, default=32)
+    trajectory.add_argument("--d", type=int, default=2)
+    trajectory.add_argument("--p", type=float, default=0.02)
+    trajectory.add_argument("--arrivals", type=int, default=600)
+    trajectory.add_argument("--sample-every", type=int, default=25,
+                            dest="sample_every")
+    trajectory.add_argument("--seed", type=int, default=0)
+    trajectory.set_defaults(func=_cmd_trajectory)
+
+    collapse = sub.add_parser("collapse", help="Theorem 5 collapse-walk estimate")
+    collapse.add_argument("--k", type=int, default=12)
+    collapse.add_argument("--d", type=int, default=2)
+    collapse.add_argument("--p", type=float, default=0.03)
+    collapse.add_argument("--runs", type=int, default=10)
+    collapse.add_argument("--max-steps", type=int, default=400_000,
+                          dest="max_steps")
+    collapse.add_argument("--seed", type=int, default=0)
+    collapse.set_defaults(func=_cmd_collapse)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""Progressive Gaussian-elimination decoder.
+
+The decoder maintains, per generation, an augmented matrix
+``[coefficients | payload]`` kept permanently in reduced row echelon form.
+Each arriving packet is reduced against the current basis; *innovative*
+packets (those that increase rank) are inserted, everything else is
+discarded.  When the rank reaches the generation size the original block
+is recovered directly from the RREF.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..gf.field import addmul_row
+from ..gf.tables import INV, MUL
+from .generation import GenerationParams
+from .packet import CodedPacket, SourceBlock
+
+
+class GenerationDecoder:
+    """Decoder state for a single generation."""
+
+    def __init__(self, generation: int, params: GenerationParams) -> None:
+        self.generation = generation
+        self.params = params
+        size = params.generation_size
+        width = size + params.payload_size
+        # Row i, when present, has its pivot at column pivot_cols[i].
+        self._rows = np.zeros((size, width), dtype=np.uint8)
+        self._pivot_of_row: list[Optional[int]] = [None] * size
+        self._row_of_pivot: dict[int, int] = {}
+        self.rank = 0
+        self.received = 0
+        self.innovative = 0
+
+    @property
+    def is_complete(self) -> bool:
+        """True once the generation can be fully decoded."""
+        return self.rank == self.params.generation_size
+
+    def _reduce(self, coefficients: np.ndarray, payload: np.ndarray) -> np.ndarray:
+        """Reduce a packet against the current basis; returns the full row."""
+        row = np.concatenate([coefficients, payload]).astype(np.uint8)
+        size = self.params.generation_size
+        # Basis rows are zero at every pivot column but their own, so one
+        # increasing pass fully clears the row at all existing pivots; the
+        # first remaining nonzero (if any) is a brand-new pivot.
+        for col in range(size):
+            value = int(row[col])
+            if value == 0:
+                continue
+            basis_row = self._row_of_pivot.get(col)
+            if basis_row is None:
+                continue  # candidate new pivot; keep clearing later pivots
+            addmul_row(row, self._rows[basis_row], value)
+        return row
+
+    def push(self, packet: CodedPacket) -> bool:
+        """Consume a packet; returns True iff it was innovative."""
+        if packet.generation != self.generation:
+            raise ValueError("packet belongs to a different generation")
+        self.received += 1
+        if self.is_complete:
+            return False
+        row = self._reduce(packet.coefficients, packet.payload)
+        size = self.params.generation_size
+        pivot = -1
+        for col in range(size):
+            if row[col]:
+                pivot = col
+                break
+        if pivot < 0:
+            return False  # non-innovative
+        # Normalise the pivot to 1.
+        pivot_value = int(row[pivot])
+        if pivot_value != 1:
+            inv = int(INV[pivot_value])
+            row = MUL[inv, row]
+        slot = self.rank
+        self._rows[slot] = row
+        self._pivot_of_row[slot] = pivot
+        self._row_of_pivot[pivot] = slot
+        self.rank += 1
+        self.innovative += 1
+        # Back-substitute: clear column `pivot` from existing rows.
+        for other in range(slot):
+            value = int(self._rows[other][pivot])
+            if value:
+                addmul_row(self._rows[other], row, value)
+        return True
+
+    def decoded_block(self) -> SourceBlock:
+        """Recover the original source block; requires completeness."""
+        if not self.is_complete:
+            raise RuntimeError(
+                f"generation {self.generation} rank {self.rank}"
+                f"/{self.params.generation_size}: not decodable yet"
+            )
+        size = self.params.generation_size
+        data = np.zeros((size, self.params.payload_size), dtype=np.uint8)
+        for row_index in range(size):
+            pivot = self._pivot_of_row[row_index]
+            assert pivot is not None
+            data[pivot] = self._rows[row_index][size:]
+        return SourceBlock(generation=self.generation, data=data)
+
+    def random_combination(self, rng: np.random.Generator) -> Optional[CodedPacket]:
+        """Fresh uniform random mixture of the current basis (fast path).
+
+        Computes the combination in one vectorised pass over the stored
+        RREF rows, avoiding per-row packet materialisation.  Returns None
+        when the basis is empty.
+        """
+        if self.rank == 0:
+            return None
+        from ..gf.tables import FIELD_SIZE
+
+        scalars = rng.integers(1, FIELD_SIZE, size=self.rank, dtype=np.uint8)
+        rows = self._rows[: self.rank]
+        mixed = MUL[scalars[:, None], rows]
+        combined = np.bitwise_xor.reduce(mixed, axis=0)
+        size = self.params.generation_size
+        return CodedPacket(
+            generation=self.generation,
+            coefficients=combined[:size].copy(),
+            payload=combined[size:].copy(),
+        )
+
+    def basis_packets(self) -> list[CodedPacket]:
+        """Current basis as packets (used by recoders sharing the buffer)."""
+        size = self.params.generation_size
+        packets = []
+        for row_index in range(self.rank):
+            row = self._rows[row_index]
+            packets.append(
+                CodedPacket(
+                    generation=self.generation,
+                    coefficients=row[:size].copy(),
+                    payload=row[size:].copy(),
+                )
+            )
+        return packets
+
+
+class Decoder:
+    """Multi-generation decoder for a whole content object."""
+
+    def __init__(self, params: GenerationParams, generation_count: int) -> None:
+        if generation_count < 1:
+            raise ValueError("generation_count must be >= 1")
+        self.params = params
+        self.generations = [GenerationDecoder(g, params) for g in range(generation_count)]
+
+    def push(self, packet: CodedPacket) -> bool:
+        """Route a packet to its generation decoder; True iff innovative."""
+        if not 0 <= packet.generation < len(self.generations):
+            raise ValueError(f"unknown generation {packet.generation}")
+        return self.generations[packet.generation].push(packet)
+
+    @property
+    def is_complete(self) -> bool:
+        """True once every generation decodes."""
+        return all(g.is_complete for g in self.generations)
+
+    @property
+    def total_rank(self) -> int:
+        """Sum of per-generation ranks (degrees of freedom collected)."""
+        return sum(g.rank for g in self.generations)
+
+    @property
+    def total_dof(self) -> int:
+        """Total degrees of freedom needed for full decoding."""
+        return len(self.generations) * self.params.generation_size
+
+    def progress(self) -> float:
+        """Fraction of degrees of freedom collected, in [0, 1]."""
+        return self.total_rank / self.total_dof
+
+    def recover(self, content_length: int) -> bytes:
+        """Reassemble the original content bytes; requires completeness."""
+        from .generation import join_content
+
+        blocks = [g.decoded_block() for g in self.generations]
+        return join_content(blocks, content_length)

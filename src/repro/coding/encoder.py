@@ -1,0 +1,85 @@
+"""Source encoder: the server side of the RLNC data plane.
+
+The encoder owns the original :class:`~repro.coding.packet.SourceBlock` of
+each generation and emits either systematic packets (the originals, sent
+once each at the start — standard practice from [5]) or uniformly random
+linear combinations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..gf.tables import FIELD_SIZE
+from .generation import GenerationParams, split_content
+from .packet import CodedPacket, SourceBlock
+
+
+class SourceEncoder:
+    """Emits coded packets for a piece of content.
+
+    Args:
+        content: The raw bytes to broadcast.
+        params: Generation geometry.
+        rng: Seeded generator; all coding randomness flows through it.
+        systematic_first: If true, the first ``generation_size`` packets
+            emitted for each generation are the unmixed originals.
+    """
+
+    def __init__(
+        self,
+        content: bytes,
+        params: GenerationParams,
+        rng: np.random.Generator,
+        systematic_first: bool = False,
+    ) -> None:
+        self.params = params
+        self.content_length = len(content)
+        self.blocks: list[SourceBlock] = split_content(content, params)
+        self._rng = rng
+        self._systematic_first = systematic_first
+        self._systematic_cursor = {block.generation: 0 for block in self.blocks}
+
+    @property
+    def generation_count(self) -> int:
+        """Number of generations the content was split into."""
+        return len(self.blocks)
+
+    def emit(self, generation: Optional[int] = None) -> CodedPacket:
+        """Emit one coded packet.
+
+        If ``generation`` is None the encoder round-robins over
+        generations in proportion to a uniform draw (every generation is
+        equally hot; schedulers that want sequential delivery pass an
+        explicit generation).
+        """
+        if generation is None:
+            generation = int(self._rng.integers(0, self.generation_count))
+        block = self.blocks[generation]
+        cursor = self._systematic_cursor[generation]
+        if self._systematic_first and cursor < block.generation_size:
+            self._systematic_cursor[generation] = cursor + 1
+            packet = block.source_packet(cursor)
+            packet.origin = -1
+            return packet
+        coefficients = self._rng.integers(
+            0, FIELD_SIZE, size=block.generation_size, dtype=np.uint8
+        )
+        if not coefficients.any():
+            # A zero vector carries nothing; force one nonzero entry.
+            coefficients[int(self._rng.integers(0, block.generation_size))] = 1
+        payload = np.zeros(block.payload_size, dtype=np.uint8)
+        from ..gf.field import addmul_row
+
+        for index in np.nonzero(coefficients)[0]:
+            addmul_row(payload, block.data[index], int(coefficients[index]))
+        return CodedPacket(
+            generation=generation, coefficients=coefficients, payload=payload, origin=-1
+        )
+
+    def stream(self, generation: Optional[int] = None) -> Iterator[CodedPacket]:
+        """Infinite iterator of coded packets (``emit`` in a loop)."""
+        while True:
+            yield self.emit(generation)

@@ -1,0 +1,67 @@
+"""Innovation accounting: rank evolution and coding-efficiency metrics.
+
+These helpers quantify how much of the traffic a node receives is
+*innovative* (rank-increasing) — the currency of network coding.  They are
+used by the throughput experiments (E7) and the attack experiments (E11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gf.linalg import rank as gf_rank
+from .packet import CodedPacket
+
+
+@dataclass
+class InnovationTracker:
+    """Counts received vs innovative packets for one receiver.
+
+    Attributes:
+        received: Total packets ingested.
+        innovative: Packets that increased rank.
+        history: Per-step (received, rank) samples when ``sample`` is called.
+    """
+
+    received: int = 0
+    innovative: int = 0
+    history: list[tuple[int, int]] = field(default_factory=list)
+
+    def record(self, was_innovative: bool) -> None:
+        """Record the outcome of one packet ingestion."""
+        self.received += 1
+        if was_innovative:
+            self.innovative += 1
+
+    def sample(self, current_rank: int) -> None:
+        """Append a (received, rank) sample to the history."""
+        self.history.append((self.received, current_rank))
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of received packets that were innovative (1.0 if none)."""
+        return self.innovative / self.received if self.received else 1.0
+
+
+def packets_rank(packets: list[CodedPacket]) -> int:
+    """Rank of the coefficient vectors of a packet collection."""
+    if not packets:
+        return 0
+    matrix = np.stack([p.coefficients for p in packets])
+    return gf_rank(matrix)
+
+
+def innovation_probability(generation_size: int, have_rank: int) -> float:
+    """Probability that a uniformly random combination of a full-rank peer's
+    buffer is innovative for a receiver holding ``have_rank`` dimensions.
+
+    For GF(q) with q = 256 the chance a random vector lands inside a fixed
+    ``have_rank``-dimensional subspace of the ``generation_size``-space is
+    ``q**(have_rank - generation_size)``; innovation probability is its
+    complement.  Used as the analytic reference line in E13.
+    """
+    if have_rank >= generation_size:
+        return 0.0
+    return 1.0 - 256.0 ** (have_rank - generation_size)

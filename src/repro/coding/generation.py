@@ -1,0 +1,86 @@
+"""Generation management: chunking a byte stream into coded generations.
+
+A *generation* is the unit of coding: ``generation_size`` packets of
+``payload_size`` bytes each.  Content (a file, a stream prefix) is split
+into consecutive generations; mixing only ever happens within a
+generation, which bounds decoding cost and delay (Chou–Wu–Jain).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .packet import SourceBlock
+
+
+@dataclass(frozen=True)
+class GenerationParams:
+    """Coding parameters shared by every node in a session.
+
+    Attributes:
+        generation_size: Source packets per generation (the paper's and
+            [5]'s practical sweet spot is tens to low hundreds).
+        payload_size: Bytes per packet payload.
+    """
+
+    generation_size: int
+    payload_size: int
+
+    def __post_init__(self) -> None:
+        if self.generation_size < 1:
+            raise ValueError("generation_size must be >= 1")
+        if self.payload_size < 1:
+            raise ValueError("payload_size must be >= 1")
+
+    @property
+    def generation_bytes(self) -> int:
+        """Raw content bytes carried by one full generation."""
+        return self.generation_size * self.payload_size
+
+    def generations_for(self, content_length: int) -> int:
+        """Number of generations needed to carry ``content_length`` bytes."""
+        if content_length < 0:
+            raise ValueError("content_length must be >= 0")
+        return max(1, math.ceil(content_length / self.generation_bytes))
+
+
+def split_content(content: bytes, params: GenerationParams) -> list[SourceBlock]:
+    """Split ``content`` into zero-padded source blocks, one per generation.
+
+    The final generation is padded with zero bytes; real systems carry the
+    content length out of band (we return it from :func:`join_content`'s
+    caller side).
+    """
+    count = params.generations_for(len(content))
+    padded = np.zeros(count * params.generation_bytes, dtype=np.uint8)
+    if content:
+        padded[: len(content)] = np.frombuffer(content, dtype=np.uint8)
+    blocks = []
+    for g in range(count):
+        chunk = padded[g * params.generation_bytes : (g + 1) * params.generation_bytes]
+        blocks.append(
+            SourceBlock(
+                generation=g,
+                data=chunk.reshape(params.generation_size, params.payload_size),
+            )
+        )
+    return blocks
+
+
+def join_content(blocks: list[SourceBlock], content_length: int) -> bytes:
+    """Reassemble content bytes from decoded source blocks.
+
+    Blocks must be supplied for every generation index in ``range(len(blocks))``;
+    they are sorted by generation before joining.
+    """
+    ordered = sorted(blocks, key=lambda block: block.generation)
+    for expected, block in enumerate(ordered):
+        if block.generation != expected:
+            raise ValueError(f"missing generation {expected}")
+    flat = np.concatenate([block.data.reshape(-1) for block in ordered])
+    if content_length > flat.shape[0]:
+        raise ValueError("content_length exceeds decoded data")
+    return flat[:content_length].tobytes()

@@ -1,0 +1,39 @@
+"""Per-node registry state kept by the coordination server."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class NodeStatus(enum.Enum):
+    """Lifecycle of a peer as the server sees it."""
+
+    WORKING = "working"
+    FAILED = "failed"  # non-ergodic failure awaiting repair
+    CONGESTED = "congested"  # §5: voluntarily shed one or more threads
+
+
+@dataclass
+class NodeInfo:
+    """Registry entry for one peer.
+
+    Attributes:
+        node_id: Server-assigned identifier.
+        nominal_degree: The node's nominal thread count ``d`` (its
+            bandwidth in units); heterogeneous nodes differ here (§5).
+        status: Current lifecycle state.
+        dropped_threads: Columns shed due to congestion, in drop order,
+            so recovery can restore capacity gradually.
+        joined_at: Monotonic join sequence number (diagnostics).
+    """
+
+    node_id: int
+    nominal_degree: int
+    status: NodeStatus = NodeStatus.WORKING
+    dropped_threads: list[int] = field(default_factory=list)
+    joined_at: int = 0
+
+    @property
+    def is_working(self) -> bool:
+        return self.status is not NodeStatus.FAILED

@@ -1,0 +1,122 @@
+"""§6 variant: random-graph overlays trading acyclicity for low delay.
+
+The curtain model keeps the overlay acyclic, so network coding loses no
+throughput to delay spread — but the pipeline delay grows *linearly* in
+the population (column chains have expected length ``N·d/k``).  Section 6
+proposes the alternative: "each new user selects d random edges in the
+existing network, and inserts itself at these edges."  The result is an
+expander with high probability, so delay is *logarithmic*; the price is
+that cycles may appear.
+
+This module implements that construction with the same join/leave API
+shape as the curtain overlay so the delay experiment (E6) can compare
+them head-to-head.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Union
+
+import numpy as np
+
+from .matrix import SERVER
+from .topology import OverlayGraph
+
+
+class RandomGraphOverlay:
+    """Edge-splitting random overlay (§6).
+
+    Bootstrap: the server's ``k`` unit streams are dealt to the first
+    ``ceil(k/d)`` joiners directly (each takes up to ``d`` server edges).
+    Afterwards every joiner picks ``d`` uniformly random *edges* of the
+    current graph and splices itself into each (edge ``u -> v`` becomes
+    ``u -> new -> v``), preserving every existing node's degrees and
+    giving the newcomer in-degree = out-degree = ``d``.
+
+    Args:
+        k: Server bandwidth in unit streams.
+        d: Per-node bandwidth in unit streams.
+        seed: Seed or Generator.
+    """
+
+    def __init__(self, k: int, d: int,
+                 seed: Union[int, np.random.Generator, None] = None) -> None:
+        if d < 1 or k < d:
+            raise ValueError("need 1 <= d <= k")
+        self.k = k
+        self.d = d
+        self.rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self._next_id = 0
+        self.nodes: set[int] = set()
+        # Edge multiset as a list for O(1) uniform sampling; removal by
+        # swap-pop.  Server slots not yet delegated are edges SERVER->None.
+        self._edges: list[tuple[int, Optional[int]]] = [(SERVER, None)] * k
+
+    @property
+    def population(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edges(self) -> list[tuple[int, Optional[int]]]:
+        """Current edge multiset; ``(u, None)`` is an unserved slot."""
+        return list(self._edges)
+
+    def join(self) -> int:
+        """Insert one node on ``d`` random edges; returns its id."""
+        node_id = self._next_id
+        self._next_id += 1
+        picks = self.rng.choice(len(self._edges), size=self.d, replace=False)
+        # Remove picked edges by descending index swap-pop to keep indices valid.
+        picked_edges = [self._edges[int(i)] for i in picks]
+        for index in sorted((int(i) for i in picks), reverse=True):
+            self._edges[index] = self._edges[-1]
+            self._edges.pop()
+        for u, v in picked_edges:
+            self._edges.append((u, node_id))
+            self._edges.append((node_id, v))
+        self.nodes.add(node_id)
+        return node_id
+
+    def grow(self, count: int) -> list[int]:
+        """Insert ``count`` nodes; returns their ids."""
+        return [self.join() for _ in range(count)]
+
+    def leave(self, node_id: int) -> None:
+        """Graceful leave: match each in-edge with one out-edge.
+
+        The node's d parents are paired with its d children uniformly at
+        random and joined directly — the random-graph analogue of the
+        good-bye splice.
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node {node_id}")
+        in_edges = [(u, v) for (u, v) in self._edges if v == node_id]
+        out_edges = [(u, v) for (u, v) in self._edges if u == node_id]
+        assert len(in_edges) == len(out_edges) == self.d
+        self._edges = [e for e in self._edges if e[0] != node_id and e[1] != node_id]
+        order = self.rng.permutation(self.d)
+        for (u, _), pick in zip(in_edges, order):
+            _, v = out_edges[int(pick)]
+            self._edges.append((u, v))
+        self.nodes.discard(node_id)
+
+    # ------------------------------------------------------------------
+
+    def to_overlay_graph(self) -> OverlayGraph:
+        """Materialise the current topology (unserved slots omitted)."""
+        graph = OverlayGraph()
+        for node in self.nodes:
+            graph.add_node(node)
+        for u, v in self._edges:
+            if v is not None:
+                graph.add_edge(u, v)
+        return graph
+
+    def depths_from_server(self) -> dict[int, int]:
+        """Shortest hop distance from the server to each node."""
+        return self.to_overlay_graph().depths_from_server()
+
+    def is_acyclic(self) -> bool:
+        """Random-graph overlays generally are NOT acyclic; check anyway."""
+        return self.to_overlay_graph().is_acyclic()

@@ -1,0 +1,124 @@
+"""Overlay snapshots: serialise and restore complete control-plane state.
+
+A long-running coordination server needs checkpoints: the full matrix
+(rows, arrival keys, columns), the registry (degrees, statuses, shed
+threads) and the failed set, round-trippable through JSON.  Restoring
+reproduces the overlay exactly — same topology, same hanging threads,
+same pending repairs — so a restarted server resumes where it stopped
+(the RNG state is *not* captured: pass a fresh seed; future random
+choices differ, which is harmless and unavoidable across restarts).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .keys import AppendKeys, UniformKeys
+from .matrix import ThreadMatrix
+from .node import NodeInfo, NodeStatus
+from .server import CoordinationServer
+
+#: Snapshot format version.
+VERSION = 1
+
+
+def snapshot_server(server: CoordinationServer) -> dict:
+    """Capture a server's complete logical state as a JSON-safe dict."""
+    matrix = server.matrix
+    rows = []
+    for node_id in matrix.node_ids:
+        row = matrix.row(node_id)
+        info = server.registry[node_id]
+        rows.append({
+            "node_id": node_id,
+            "key": row.key,
+            "columns": sorted(row.columns),
+            "nominal_degree": info.nominal_degree,
+            "status": info.status.value,
+            "dropped_threads": list(info.dropped_threads),
+            "joined_at": info.joined_at,
+        })
+    return {
+        "version": VERSION,
+        "k": server.k,
+        "d": server.d,
+        "insert_mode": server.insert_mode,
+        "next_id": server._next_id,
+        "join_sequence": server._join_sequence,
+        "failed": sorted(server.failed),
+        "rows": rows,
+    }
+
+
+def restore_server(
+    document: dict,
+    seed: Union[int, np.random.Generator, None] = None,
+) -> CoordinationServer:
+    """Rebuild a server from a snapshot document.
+
+    The restored matrix preserves every arrival key, so row ordering —
+    and therefore every parent/child relationship and hanging thread —
+    is identical to the captured state.
+    """
+    if document.get("version") != VERSION:
+        raise ValueError(f"unsupported snapshot version {document.get('version')}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    server = CoordinationServer(
+        document["k"], document["d"], rng,
+        insert_mode=document.get("insert_mode", "append"),
+    )
+    # Rebuild the matrix with a key-faithful allocator: feed each row's
+    # recorded key back through a replaying allocator.
+    keys = [row["key"] for row in document["rows"]]
+    server.matrix = ThreadMatrix(document["k"], _ReplayKeys(keys))
+    for row in document["rows"]:
+        server.matrix.join(
+            row["node_id"], len(row["columns"]), rng, columns=row["columns"]
+        )
+        server.registry[row["node_id"]] = NodeInfo(
+            node_id=row["node_id"],
+            nominal_degree=row["nominal_degree"],
+            status=NodeStatus(row["status"]),
+            dropped_threads=list(row["dropped_threads"]),
+            joined_at=row["joined_at"],
+        )
+    server.failed = set(document["failed"])
+    server._next_id = document["next_id"]
+    server._join_sequence = document["join_sequence"]
+    # Future joins use the mode's normal allocator, continuing after the
+    # largest restored key for append mode.
+    if server.insert_mode == "append":
+        allocator = AppendKeys()
+        allocator._counter = int(max(keys, default=0.0)) + 1
+    else:
+        allocator = UniformKeys(rng)
+    server.matrix._allocator = allocator
+    server.matrix.check_invariants()
+    return server
+
+
+class _ReplayKeys:
+    """Key allocator that replays a recorded key sequence."""
+
+    def __init__(self, keys: list[float]) -> None:
+        self._iter = iter(keys)
+
+    def next_key(self) -> float:
+        return next(self._iter)
+
+
+def save_snapshot(server: CoordinationServer, path: Union[str, Path]) -> None:
+    """Write a snapshot to a JSON file."""
+    Path(path).write_text(json.dumps(snapshot_server(server)))
+
+
+def load_snapshot(
+    path: Union[str, Path],
+    seed: Union[int, np.random.Generator, None] = None,
+) -> CoordinationServer:
+    """Read a snapshot file and restore the server."""
+    return restore_server(json.loads(Path(path).read_text()), seed)

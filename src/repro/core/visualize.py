@@ -1,0 +1,84 @@
+"""ASCII rendering of the thread matrix — the curtain, drawn.
+
+Debugging and teaching aid: print ``M`` the way the paper draws it, rows
+in arrival order, one column per server thread, with failures and
+hanging threads marked.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Optional
+
+from .matrix import SERVER, ThreadMatrix
+
+
+def render_matrix(
+    matrix: ThreadMatrix,
+    failed: Optional[AbstractSet[int]] = None,
+    max_rows: int = 40,
+) -> str:
+    """Render ``M`` as fixed-width text.
+
+    ``#`` marks a one (a clipped thread), ``X`` a one belonging to a
+    failed row, ``.`` a zero.  The footer line marks each column's
+    hanging-thread owner (``v`` = a working node, ``!`` = dead because
+    its owner failed, ``s`` = still on the rod).  Long matrices are
+    elided in the middle.
+    """
+    failed = failed or frozenset()
+    node_ids = matrix.node_ids
+    lines = []
+    header = "node".rjust(8) + " | " + "".join(
+        str(c % 10) for c in range(matrix.k)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    def row_line(node_id: int) -> str:
+        columns = matrix.columns_of(node_id)
+        mark = "X" if node_id in failed else "#"
+        cells = "".join(
+            mark if c in columns else "." for c in range(matrix.k)
+        )
+        label = f"{node_id}!" if node_id in failed else str(node_id)
+        return label.rjust(8) + " | " + cells
+
+    if len(node_ids) <= max_rows:
+        shown = node_ids
+        for node_id in shown:
+            lines.append(row_line(node_id))
+    else:
+        head = node_ids[: max_rows // 2]
+        tail = node_ids[-(max_rows - len(head)) :]
+        for node_id in head:
+            lines.append(row_line(node_id))
+        lines.append(f"{'...':>8} | ({len(node_ids) - len(head) - len(tail)}"
+                     " rows elided)")
+        for node_id in tail:
+            lines.append(row_line(node_id))
+
+    footer = []
+    for column in range(matrix.k):
+        owner = matrix.hanging_owner(column)
+        if owner == SERVER:
+            footer.append("s")
+        elif owner in failed:
+            footer.append("!")
+        else:
+            footer.append("v")
+    lines.append("hanging".rjust(8) + " | " + "".join(footer))
+    return "\n".join(lines)
+
+
+def matrix_summary(matrix: ThreadMatrix,
+                   failed: Optional[AbstractSet[int]] = None) -> str:
+    """One-line shape summary for logs."""
+    failed = failed or frozenset()
+    dead = sum(
+        1 for c in range(matrix.k)
+        if matrix.hanging_owner(c) in failed
+    )
+    return (
+        f"M: {len(matrix)} rows x {matrix.k} cols, "
+        f"{len(failed)} failed, {dead} dead hanging threads"
+    )

@@ -1,0 +1,26 @@
+"""Failure machinery: iid and adversarial models, churn, §7 attacks."""
+
+from .attacks import DetectionOutcome, assign_attack_roles, detect_low_innovation
+from .churn import ChurnTimeline, PoissonChurn
+from .models import (
+    CohortBatchFailures,
+    FailureModel,
+    IIDFailures,
+    RandomBatchFailures,
+    TopRowsFailures,
+    apply_failures,
+)
+
+__all__ = [
+    "ChurnTimeline",
+    "CohortBatchFailures",
+    "DetectionOutcome",
+    "FailureModel",
+    "IIDFailures",
+    "PoissonChurn",
+    "RandomBatchFailures",
+    "TopRowsFailures",
+    "apply_failures",
+    "assign_attack_roles",
+    "detect_low_innovation",
+]

@@ -1,0 +1,116 @@
+"""Continuous-time churn on the event engine.
+
+Nodes arrive by a Poisson process; each node draws an exponential
+lifetime and, at its end, leaves gracefully or fails (and is repaired
+after a fixed repair delay).  This is the asynchronous counterpart of the
+slotted churn in :mod:`repro.core.membership`, used for timing-sensitive
+questions (how long do children sit disconnected before repair?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.overlay import OverlayNetwork
+from ..sim.engine import Simulator
+
+
+@dataclass
+class ChurnTimeline:
+    """Event log of a churn run."""
+
+    joins: list[tuple[float, int]] = field(default_factory=list)
+    leaves: list[tuple[float, int]] = field(default_factory=list)
+    failures: list[tuple[float, int]] = field(default_factory=list)
+    repairs: list[tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def repair_latencies(self) -> list[float]:
+        """Time from each failure to its repair (matched by node id)."""
+        failed_at = {node: t for t, node in self.failures}
+        return [t - failed_at[node] for t, node in self.repairs if node in failed_at]
+
+
+class PoissonChurn:
+    """Drive an overlay with Poisson joins and exponential lifetimes.
+
+    Args:
+        net: Overlay to drive.
+        sim: Event engine to schedule on.
+        join_rate: Expected joins per unit time.
+        mean_lifetime: Mean node lifetime.
+        failure_fraction: Probability a departure is a failure rather
+            than a graceful leave.
+        repair_delay: Time between a failure and its repair (the *repair
+            interval* of §2; children are degraded for this long).
+        rng: Randomness.
+    """
+
+    def __init__(
+        self,
+        net: OverlayNetwork,
+        sim: Simulator,
+        join_rate: float,
+        mean_lifetime: float,
+        failure_fraction: float,
+        repair_delay: float,
+        rng: np.random.Generator,
+        min_population: int = 1,
+    ) -> None:
+        if join_rate <= 0 or mean_lifetime <= 0:
+            raise ValueError("rates must be positive")
+        if not 0.0 <= failure_fraction <= 1.0:
+            raise ValueError("failure_fraction must be a probability")
+        if repair_delay < 0:
+            raise ValueError("repair_delay must be non-negative")
+        self.net = net
+        self.sim = sim
+        self.join_rate = join_rate
+        self.mean_lifetime = mean_lifetime
+        self.failure_fraction = failure_fraction
+        self.repair_delay = repair_delay
+        self.rng = rng
+        self.min_population = min_population
+        self.timeline = ChurnTimeline()
+
+    def start(self) -> None:
+        """Schedule the first arrival; the process self-perpetuates."""
+        self.sim.schedule_after(self._next_gap(), self._on_join, label="churn-join")
+
+    def _next_gap(self) -> float:
+        return float(self.rng.exponential(1.0 / self.join_rate))
+
+    def _on_join(self, sim: Simulator) -> None:
+        grant = self.net.join()
+        self.timeline.joins.append((sim.now, grant.node_id))
+        lifetime = float(self.rng.exponential(self.mean_lifetime))
+        sim.schedule_after(
+            lifetime, lambda s, node=grant.node_id: self._on_departure(s, node),
+            label="churn-departure",
+        )
+        sim.schedule_after(self._next_gap(), self._on_join, label="churn-join")
+
+    def _on_departure(self, sim: Simulator, node_id: int) -> None:
+        if node_id not in self.net.matrix or node_id in self.net.failed:
+            return  # already gone (e.g. repaired-away duplicate event)
+        if self.net.population <= self.min_population:
+            return
+        if self.rng.random() < self.failure_fraction:
+            self.net.fail(node_id)
+            self.timeline.failures.append((sim.now, node_id))
+            sim.schedule_after(
+                self.repair_delay,
+                lambda s, node=node_id: self._on_repair(s, node),
+                label="churn-repair",
+            )
+        else:
+            self.net.leave(node_id)
+            self.timeline.leaves.append((sim.now, node_id))
+
+    def _on_repair(self, sim: Simulator, node_id: int) -> None:
+        if node_id in self.net.failed:
+            self.net.repair(node_id)
+            self.timeline.repairs.append((sim.now, node_id))

@@ -1,0 +1,50 @@
+"""Finite-field arithmetic over GF(2^8) — the substrate for network coding.
+
+Public API:
+
+* :mod:`repro.gf.field` — scalar/vector element arithmetic (``add``,
+  ``mul``, ``inv``, ``div``, ``power``, ``addmul_row``).
+* :mod:`repro.gf.linalg` — dense matrix algebra (``matmul``, ``rref``,
+  ``rank``, ``solve``, ``inverse``, ``vandermonde``).
+"""
+
+from .field import add, addmul_row, div, inv, mul, power, scale_row, sub
+from .linalg import (
+    inverse,
+    is_full_rank,
+    matmul,
+    matvec,
+    nullity,
+    rank,
+    random_full_rank,
+    random_matrix,
+    rref,
+    solve,
+    vandermonde,
+)
+from .tables import FIELD_SIZE, GENERATOR, PRIMITIVE_POLY
+
+__all__ = [
+    "FIELD_SIZE",
+    "GENERATOR",
+    "PRIMITIVE_POLY",
+    "add",
+    "addmul_row",
+    "div",
+    "inv",
+    "inverse",
+    "is_full_rank",
+    "matmul",
+    "matvec",
+    "mul",
+    "nullity",
+    "power",
+    "random_full_rank",
+    "random_matrix",
+    "rank",
+    "rref",
+    "scale_row",
+    "solve",
+    "sub",
+    "vandermonde",
+]

@@ -1,0 +1,83 @@
+"""Lookup tables for GF(2^8) arithmetic.
+
+The field is constructed as GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), i.e.
+with the primitive polynomial 0x11D that is also used by the Rijndael-
+adjacent coding literature and by practical network coding implementations
+(Chou, Wu, Jain 2003).  The generator element is ``x`` (0x02), which is
+primitive for this polynomial, so ``exp``/``log`` tables cover every
+non-zero element.
+
+All tables are numpy ``uint8``/``int16`` arrays built once at import time;
+every operation in :mod:`repro.gf.field` and :mod:`repro.gf.linalg` is a
+vectorised table lookup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Order of the field.
+FIELD_SIZE = 256
+
+#: The primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+PRIMITIVE_POLY = 0x11D
+
+#: The generator element used for the exp/log tables.
+GENERATOR = 0x02
+
+
+def _build_exp_log() -> tuple[np.ndarray, np.ndarray]:
+    """Build exponential and logarithm tables for the field.
+
+    ``exp[i] = g**i`` for ``i in [0, 2*(q-1))`` (doubled so products of two
+    logs never need an explicit modular reduction), and ``log[exp[i]] = i``
+    for ``i in [0, q-1)``.  ``log[0]`` is set to a sentinel that callers must
+    never use; multiplication routines special-case zero operands instead.
+    """
+    exp = np.zeros(2 * (FIELD_SIZE - 1), dtype=np.uint8)
+    log = np.zeros(FIELD_SIZE, dtype=np.int16)
+    value = 1
+    for i in range(FIELD_SIZE - 1):
+        exp[i] = value
+        log[value] = i
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    exp[FIELD_SIZE - 1:] = exp[: FIELD_SIZE - 1]
+    log[0] = -1  # sentinel: log of zero is undefined
+    return exp, log
+
+
+#: ``EXP[i]`` is the generator raised to the ``i``-th power (doubled range).
+EXP, LOG = _build_exp_log()
+
+
+def _build_mul_table() -> np.ndarray:
+    """Build the full 256x256 multiplication table.
+
+    64 KiB of memory buys branch-free vectorised multiplication:
+    ``MUL[a, b] == a * b`` in the field.
+    """
+    a = np.arange(FIELD_SIZE, dtype=np.int16)
+    log_a = LOG[a][:, None]
+    log_b = LOG[a][None, :]
+    table = EXP[(log_a + log_b) % (FIELD_SIZE - 1)].astype(np.uint8)
+    table[0, :] = 0
+    table[:, 0] = 0
+    return table
+
+
+#: ``MUL[a, b]`` is the field product of ``a`` and ``b``.
+MUL = _build_mul_table()
+
+
+def _build_inv_table() -> np.ndarray:
+    """Build the multiplicative-inverse table; ``INV[0]`` is 0 (sentinel)."""
+    inv = np.zeros(FIELD_SIZE, dtype=np.uint8)
+    nonzero = np.arange(1, FIELD_SIZE, dtype=np.int16)
+    inv[1:] = EXP[(FIELD_SIZE - 1 - LOG[nonzero]) % (FIELD_SIZE - 1)]
+    return inv
+
+
+#: ``INV[a]`` is the multiplicative inverse of ``a`` (``INV[0] == 0``).
+INV = _build_inv_table()

@@ -1,0 +1,49 @@
+"""Export experiment tables to CSV/JSON for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from .report import Cell
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Render a table as CSV text (None becomes an empty cell)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buffer.getvalue()
+
+
+def to_json(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Render a table as a JSON list of row objects."""
+    records = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        records.append(dict(zip(headers, row)))
+    return json.dumps(records, indent=2)
+
+
+def save_table(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+) -> None:
+    """Write a table to ``path``; format chosen by suffix (.csv/.json)."""
+    path = Path(path)
+    rows = [list(row) for row in rows]
+    if path.suffix == ".csv":
+        path.write_text(to_csv(headers, rows))
+    elif path.suffix == ".json":
+        path.write_text(to_json(headers, rows))
+    else:
+        raise ValueError(f"unsupported export format {path.suffix!r}")

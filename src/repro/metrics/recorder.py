@@ -1,0 +1,79 @@
+"""Time-series recording for experiments.
+
+A tiny, dependency-free recorder: named series of (time, value) points
+with summary statistics.  Benches use it to accumulate sweeps before
+rendering tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class Series:
+    """One named series of (t, value) samples."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def add(self, t: float, value: float) -> None:
+        self.times.append(float(t))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    def std(self) -> float:
+        return float(np.std(self.values, ddof=1)) if len(self.values) > 1 else 0.0
+
+    def max(self) -> float:
+        return float(np.max(self.values)) if self.values else 0.0
+
+    def min(self) -> float:
+        return float(np.min(self.values)) if self.values else 0.0
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+
+class Recorder:
+    """A bag of named series."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, Series] = {}
+
+    def record(self, name: str, t: float, value: float) -> None:
+        """Append one sample to series ``name`` (created on first use)."""
+        series = self._series.get(name)
+        if series is None:
+            series = Series(name)
+            self._series[name] = series
+        series.add(t, value)
+
+    def series(self, name: str) -> Series:
+        """The series called ``name``; KeyError if never recorded."""
+        return self._series[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-series {mean, std, min, max, n} snapshot."""
+        return {
+            name: {
+                "mean": s.mean(),
+                "std": s.std(),
+                "min": s.min(),
+                "max": s.max(),
+                "n": float(len(s)),
+            }
+            for name, s in self._series.items()
+        }

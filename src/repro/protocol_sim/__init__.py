@@ -1,0 +1,53 @@
+"""Message-level deployment of the §3 protocols.
+
+Actors exchange concrete datagrams over a latency/loss network on the
+event engine: keep-alives stand in for the data stream, silent threads
+trigger complaints, the server probes suspects and splices them out.
+This layer measures what the function-call control plane cannot —
+detection/repair *latencies*, spurious-complaint suppression, and the
+server's message/byte load.
+"""
+
+from .actors import PeerActor, RepairRecord, ServerActor
+from .harness import ProtocolConfig, ProtocolSimulation
+from .messages import (
+    SERVER_ADDRESS,
+    AttachChild,
+    ComplaintMsg,
+    CongestionDrop,
+    CongestionRestore,
+    DetachChild,
+    ThreadRemoved,
+    JoinGrant,
+    JoinRequest,
+    KeepAlive,
+    LeaveRequest,
+    Probe,
+    ProbeAck,
+    SetParent,
+)
+from .network import MessageNetwork, NetworkStats
+
+__all__ = [
+    "SERVER_ADDRESS",
+    "AttachChild",
+    "ComplaintMsg",
+    "CongestionDrop",
+    "CongestionRestore",
+    "DetachChild",
+    "ThreadRemoved",
+    "JoinGrant",
+    "JoinRequest",
+    "KeepAlive",
+    "LeaveRequest",
+    "MessageNetwork",
+    "NetworkStats",
+    "PeerActor",
+    "Probe",
+    "ProbeAck",
+    "ProtocolConfig",
+    "ProtocolSimulation",
+    "RepairRecord",
+    "ServerActor",
+    "SetParent",
+]

@@ -1,0 +1,160 @@
+"""Harness: build a whole actor deployment and drive scenarios.
+
+One call wires the event engine, the latency network, the server actor
+(wrapping the library's matrix logic) and a peer actor per node.  The
+harness offers the experiment verbs — grow, crash, leave, settle — and
+reports repair-latency and message-load statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.server import CoordinationServer
+from ..sim.engine import Simulator
+from .actors import PeerActor, RepairRecord, ServerActor
+from .messages import SERVER_ADDRESS, JoinRequest, LeaveRequest
+from .network import MessageNetwork
+
+
+@dataclass
+class ProtocolConfig:
+    """Deployment parameters.
+
+    Attributes:
+        k, d: Overlay geometry.
+        keepalive_interval: Period of per-thread keep-alives.
+        silence_timeout: Silence before a child complains.
+        probe_timeout: Server's probe patience before repairing.
+        base_latency, jitter: One-way network delay model.
+        message_loss: Per-message drop probability.
+        insert_mode: Matrix row insertion ("append" or §5 "uniform").
+        seed: Root seed.
+    """
+
+    k: int = 16
+    d: int = 3
+    insert_mode: str = "append"
+    keepalive_interval: float = 0.2
+    silence_timeout: float = 0.5
+    probe_timeout: float = 0.3
+    base_latency: float = 0.02
+    jitter: float = 0.02
+    message_loss: float = 0.0
+    seed: Optional[int] = None
+
+
+class ProtocolSimulation:
+    """A live actor deployment of the §3 protocols."""
+
+    def __init__(self, config: ProtocolConfig) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.sim = Simulator()
+        self.network = MessageNetwork(
+            self.sim, rng,
+            base_latency=config.base_latency,
+            jitter=config.jitter,
+            loss_rate=config.message_loss,
+        )
+        self.core = CoordinationServer(config.k, config.d, rng,
+                                       insert_mode=config.insert_mode)
+        self.server = ServerActor(self.core, self.sim, self.network,
+                                  probe_timeout=config.probe_timeout)
+        self.network.register(SERVER_ADDRESS, self.server)
+        self.peers: dict[int, PeerActor] = {}
+        self._next_transport = 0
+        self.server.on_admit = self._on_admit
+
+    # ------------------------------------------------------------------
+
+    def _on_admit(self, node_id: int, _reply_to: int) -> None:
+        peer = PeerActor(
+            node_id, self.sim, self.network,
+            keepalive_interval=self.config.keepalive_interval,
+            silence_timeout=self.config.silence_timeout,
+        )
+        self.peers[node_id] = peer
+        self.network.register(node_id, peer)
+        peer.start()
+
+    def join(self) -> None:
+        """Issue one join request (admitted after a network round-trip)."""
+        self._next_transport += 1
+        self.network.send(
+            f"joiner-{self._next_transport}", SERVER_ADDRESS,
+            JoinRequest(reply_to=self._next_transport),
+        )
+
+    def grow(self, count: int, settle: float = 0.0) -> None:
+        """Issue ``count`` joins; optionally run the clock to settle."""
+        for _ in range(count):
+            self.join()
+        if settle:
+            self.run(settle)
+
+    def crash(self, node_id: int) -> None:
+        """Ground-truth non-ergodic failure of a peer."""
+        peer = self.peers[node_id]
+        peer.crash()
+        self.server.note_crash(node_id)
+
+    def leave(self, node_id: int) -> None:
+        """Graceful good-bye."""
+        self.network.send(node_id, SERVER_ADDRESS, LeaveRequest(node_id=node_id))
+
+    def congest(self, node_id: int) -> None:
+        """The peer reports congestion and asks to shed one thread."""
+        from .messages import CongestionDrop
+
+        self.network.send(node_id, SERVER_ADDRESS,
+                          CongestionDrop(node_id=node_id))
+
+    def uncongest(self, node_id: int) -> None:
+        """The peer reports recovery and asks for a thread back."""
+        from .messages import CongestionRestore
+
+        self.network.send(node_id, SERVER_ADDRESS,
+                          CongestionRestore(node_id=node_id))
+
+    def run(self, duration: float) -> None:
+        """Advance simulated time by ``duration``."""
+        self.sim.run(until=self.sim.now + duration)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def repairs(self) -> list[RepairRecord]:
+        return self.server.repairs
+
+    def completed_repairs(self) -> list[RepairRecord]:
+        return [r for r in self.repairs if r.repaired_at is not None]
+
+    def repair_latencies(self) -> list[float]:
+        return [r.repair_latency for r in self.completed_repairs()]
+
+    def consistency_check(self) -> bool:
+        """Do the live peers' parent/child views match the matrix?
+
+        Spot-checks the eventual-consistency invariant: after the network
+        settles, every working peer's view of its threads must equal the
+        server's matrix.
+        """
+        matrix = self.core.matrix
+        for node_id, peer in self.peers.items():
+            if not peer.alive or node_id not in matrix:
+                continue
+            expected_parents = matrix.parents_of(node_id)
+            if peer.parents != expected_parents:
+                return False
+            expected_children = {
+                column: child
+                for column, child in matrix.children_of(node_id).items()
+                if child is not None
+            }
+            if peer.children != expected_children:
+                return False
+        return True

@@ -1,0 +1,44 @@
+"""Simulation layer: event engine, loss models, slotted RLNC broadcast.
+
+* :class:`Simulator` — generic discrete-event engine (membership/churn
+  timing experiments).
+* :class:`BroadcastSimulation` — the packet-level data plane: one coded
+  packet per thread per slot, RLNC mixing at every working node.
+* :func:`run_session` — one-call scenario orchestration.
+"""
+
+from .broadcast import (
+    BroadcastReport,
+    BroadcastSimulation,
+    NodeReport,
+    NodeRole,
+)
+from .engine import SimulationError, Simulator
+from .graph_broadcast import GraphBroadcastSimulation
+from .events import Event, make_event
+from .links import LinkStats, LossModel, OutageModel
+from .streaming import PlaybackMonitor, PlaybackReport
+from .rng import RngStreams, make_rng
+from .session import SessionConfig, SessionResult, run_session
+
+__all__ = [
+    "BroadcastReport",
+    "BroadcastSimulation",
+    "Event",
+    "GraphBroadcastSimulation",
+    "LinkStats",
+    "LossModel",
+    "NodeReport",
+    "NodeRole",
+    "OutageModel",
+    "PlaybackMonitor",
+    "PlaybackReport",
+    "RngStreams",
+    "SessionConfig",
+    "SessionResult",
+    "SimulationError",
+    "Simulator",
+    "make_event",
+    "make_rng",
+    "run_session",
+]

@@ -1,0 +1,381 @@
+"""Slotted packet-level broadcast simulation with RLNC at every node.
+
+The paper's bandwidth model makes time-slotting the natural clock: every
+thread carries exactly one unit-size packet per slot.  Each slot proceeds
+in two phases so transmissions are simultaneous (a packet received in
+slot ``t`` can be remixed no earlier than slot ``t+1``):
+
+1. *emit* — the server pushes one fresh coded packet down each column to
+   that column's first occupant; every working node pushes one fresh
+   mixture of its current buffer down each of its threads that has a
+   child attached.
+2. *deliver* — packets cross their thread segments (subject to the loss
+   model and the receiver being alive) and enter receiver buffers.
+
+Failure attackers are simply failed nodes; entropy attackers replay
+trivial combinations instead of mixing; jammers inject random garbage
+that claims to be a valid combination (§7's pollution scenario).
+
+The overlay may be mutated between slots (join/leave/fail/repair) — the
+simulator picks up topology changes automatically, which is exactly the
+robustness-to-churn property network coding buys.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..coding.decoder import Decoder
+from ..coding.encoder import SourceEncoder
+from ..coding.generation import GenerationParams
+from ..coding.packet import CodedPacket
+from ..coding.recoder import Recoder
+from ..core.matrix import SERVER
+from ..core.overlay import OverlayNetwork
+from ..gf.tables import FIELD_SIZE
+from .links import LinkStats, LossModel, OutageModel
+from .rng import RngStreams
+
+
+class NodeRole(enum.Enum):
+    """Behavioural role of a peer in the data plane."""
+
+    HONEST = "honest"
+    ENTROPY_ATTACKER = "entropy"  # §7: forwards trivial combinations
+    JAMMER = "jammer"  # §7: injects random garbage packets
+
+
+@dataclass
+class NodeReport:
+    """Per-node outcome of a broadcast run.
+
+    Attributes:
+        node_id: The peer.
+        rank: Degrees of freedom collected (across generations).
+        needed: Degrees of freedom required for full decode.
+        completed_at: Slot at which decoding completed (None if never).
+        received: Packets delivered to this node.
+        innovative: Of those, rank-increasing ones.
+        decoded_ok: True if the node decoded *and* the content matched the
+            original bytes (False under jamming pollution).
+    """
+
+    node_id: int
+    rank: int
+    needed: int
+    completed_at: Optional[int]
+    received: int
+    innovative: int
+    decoded_ok: Optional[bool]
+
+
+@dataclass
+class BroadcastReport:
+    """Aggregate outcome of a broadcast run."""
+
+    slots: int
+    nodes: list[NodeReport]
+    link_stats: LinkStats
+    server_packets: int
+
+    @property
+    def completion_fraction(self) -> float:
+        """Fraction of measured nodes that fully decoded."""
+        if not self.nodes:
+            return 0.0
+        return sum(1 for n in self.nodes if n.completed_at is not None) / len(self.nodes)
+
+    @property
+    def mean_goodput(self) -> float:
+        """Mean innovative packets per node per slot (units of bandwidth)."""
+        if not self.nodes or self.slots == 0:
+            return 0.0
+        return float(np.mean([n.innovative for n in self.nodes])) / self.slots
+
+    @property
+    def poisoned_fraction(self) -> float:
+        """Fraction of completed nodes whose decoded bytes were corrupt."""
+        completed = [n for n in self.nodes if n.completed_at is not None]
+        if not completed:
+            return 0.0
+        return sum(1 for n in completed if n.decoded_ok is False) / len(completed)
+
+    def completion_slots(self) -> list[int]:
+        """Completion times of the nodes that finished."""
+        return [n.completed_at for n in self.nodes if n.completed_at is not None]
+
+
+class BroadcastSimulation:
+    """Run RLNC broadcast over a curtain overlay.
+
+    Args:
+        net: The overlay (may be mutated between ``step`` calls).
+        content: Bytes the server broadcasts.
+        params: Generation geometry.
+        seed: Root seed for the simulation's random streams.
+        loss: Ergodic per-delivery loss model.
+        outage: Ergodic per-node outage model (§2): outaged nodes
+            neither send nor receive until they spontaneously recover —
+            no complaint, no repair.
+        roles: Optional ``node_id -> NodeRole`` for attack experiments.
+        systematic: Emit original packets first from the server.
+    """
+
+    def __init__(
+        self,
+        net: OverlayNetwork,
+        content: bytes,
+        params: GenerationParams,
+        seed: Optional[int] = None,
+        loss: Optional[LossModel] = None,
+        outage: Optional[OutageModel] = None,
+        roles: Optional[dict[int, NodeRole]] = None,
+        systematic: bool = False,
+    ) -> None:
+        self.net = net
+        self.content = content
+        self.params = params
+        self.streams = RngStreams(seed)
+        self.loss = loss or LossModel(0.0)
+        self.outage = outage
+        #: Nodes currently in an ergodic outage (silent, not failed).
+        self.outaged: set[int] = set()
+        self.roles = dict(roles or {})
+        self.encoder = SourceEncoder(
+            content, params, self.streams.get("encoder"), systematic_first=systematic
+        )
+        self.generation_count = self.encoder.generation_count
+        self.slot = 0
+        self.link_stats = LinkStats()
+        self.server_packets = 0
+        #: When set, the server stops emitting at this slot (§6: "it may be
+        #: possible eventually for the server to disconnect itself
+        #: completely from the network after the content has been delivered
+        #: to a small fraction of the population").
+        self.server_detach_slot: Optional[int] = None
+        self._recoders: dict[int, Recoder] = {}
+        self._received: dict[int, int] = {}
+        self._innovative: dict[int, int] = {}
+        self._completed_at: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def role_of(self, node_id: int) -> NodeRole:
+        return self.roles.get(node_id, NodeRole.HONEST)
+
+    def recoder_of(self, node_id: int) -> Recoder:
+        """The node's buffer/codec state, created on first contact."""
+        recoder = self._recoders.get(node_id)
+        if recoder is None:
+            recoder = Recoder(
+                self.params,
+                self.generation_count,
+                self.streams.get(f"node-{node_id}"),
+                node_id=node_id,
+            )
+            self._recoders[node_id] = recoder
+            self._received[node_id] = 0
+            self._innovative[node_id] = 0
+        return recoder
+
+    def _jam_packet(self, node_id: int, generation: int) -> CodedPacket:
+        """A garbage packet: random coefficients over a random payload.
+
+        The coefficient header *claims* a valid combination, so honest
+        receivers cannot distinguish it — the §7 jamming scenario.
+        """
+        rng = self.streams.get(f"jammer-{node_id}")
+        coefficients = rng.integers(0, FIELD_SIZE, size=self.params.generation_size,
+                                    dtype=np.uint8)
+        if not coefficients.any():
+            coefficients[0] = 1
+        payload = rng.integers(0, FIELD_SIZE, size=self.params.payload_size,
+                               dtype=np.uint8)
+        return CodedPacket(generation=generation, coefficients=coefficients,
+                           payload=payload, origin=node_id)
+
+    def _emissions(self) -> list[tuple[int, CodedPacket]]:
+        """Phase 1: compute every (destination, packet) for this slot."""
+        matrix = self.net.matrix
+        failed = self.net.server.failed
+        sends: list[tuple[int, CodedPacket]] = []
+        server_active = (
+            self.server_detach_slot is None or self.slot < self.server_detach_slot
+        )
+        # Server: one packet per column, to the column's first occupant.
+        if server_active:
+            for column in range(matrix.k):
+                chain = matrix.column_chain(column)
+                if not chain:
+                    continue  # hanging straight off the rod: no subscriber
+                target = chain[0]
+                sends.append((target, self.encoder.emit()))
+                self.server_packets += 1
+        # Peers: one mixture per attached outgoing thread.
+        for node_id in matrix.node_ids:
+            if node_id in failed or node_id in self.outaged:
+                continue
+            recoder = self.recoder_of(node_id)
+            role = self.role_of(node_id)
+            for column, child in matrix.children_of(node_id).items():
+                if child is None:
+                    continue
+                if role is NodeRole.JAMMER:
+                    generation = int(
+                        self.streams.get(f"jammer-{node_id}").integers(
+                            0, self.generation_count
+                        )
+                    )
+                    sends.append((child, self._jam_packet(node_id, generation)))
+                    continue
+                if role is NodeRole.ENTROPY_ATTACKER:
+                    packet = recoder.emit_trivial()
+                else:
+                    packet = recoder.emit()
+                if packet is not None:
+                    sends.append((child, packet))
+        return sends
+
+    def step(self) -> None:
+        """Advance one slot (outage dynamics, emit phase, deliver phase)."""
+        if self.outage is not None:
+            self.outage.advance(
+                self.outaged, self.net.working_nodes, self.streams.get("outage")
+            )
+        sends = self._emissions()
+        failed = self.net.server.failed
+        loss_rng = self.streams.get("loss")
+        for destination, packet in sends:
+            delivered = (
+                destination not in failed
+                and destination not in self.outaged
+                and self.loss.delivers(loss_rng)
+            )
+            self.link_stats.record(delivered)
+            if not delivered:
+                continue
+            recoder = self.recoder_of(destination)
+            was_innovative = recoder.receive(packet)
+            self._received[destination] += 1
+            if was_innovative:
+                self._innovative[destination] += 1
+                if (
+                    destination not in self._completed_at
+                    and recoder.decoder.is_complete
+                ):
+                    self._completed_at[destination] = self.slot
+        self.slot += 1
+
+    def detach_server(self, at_slot: Optional[int] = None) -> None:
+        """Stop the server's emissions at ``at_slot`` (default: now).
+
+        Models §6's self-sustaining download: once the swarm collectively
+        holds every degree of freedom (see :meth:`swarm_has_full_rank`),
+        peers can finish the distribution among themselves.
+        """
+        self.server_detach_slot = self.slot if at_slot is None else at_slot
+
+    def swarm_has_full_rank(self) -> bool:
+        """True if the working peers collectively hold all content DoF.
+
+        Checked per generation: the union of the working nodes' coefficient
+        bases must span the full generation space.  This is the §6
+        self-sustainability condition — once true, the server is
+        redundant (in a loss-free network).
+        """
+        from ..gf.linalg import rank as gf_rank
+
+        failed = self.net.server.failed
+        for generation in range(self.generation_count):
+            rows = []
+            for node_id, recoder in self._recoders.items():
+                if node_id in failed or node_id not in self.net.matrix:
+                    continue
+                decoder = recoder.decoder.generations[generation]
+                size = self.params.generation_size
+                if decoder.is_complete:
+                    rows = None  # someone already decodes: full rank
+                    break
+                rows.extend(
+                    packet.coefficients for packet in decoder.basis_packets()
+                )
+            if rows is None:
+                continue
+            if not rows:
+                return False
+            if gf_rank(np.stack(rows)) < self.params.generation_size:
+                return False
+        return True
+
+    def run(self, slots: int) -> "BroadcastReport":
+        """Run ``slots`` more slots and return the cumulative report."""
+        for _ in range(slots):
+            self.step()
+        return self.report()
+
+    def run_until_complete(
+        self, max_slots: int = 10_000, nodes: Optional[list[int]] = None
+    ) -> "BroadcastReport":
+        """Run until every (given or working honest) node decodes.
+
+        Stops at ``max_slots`` regardless; check ``completion_fraction``.
+        """
+        while self.slot < max_slots:
+            targets = nodes if nodes is not None else self._honest_working_nodes()
+            if targets and all(t in self._completed_at for t in targets):
+                break
+            self.step()
+        return self.report(nodes)
+
+    def _honest_working_nodes(self) -> list[int]:
+        return [
+            n for n in self.net.working_nodes
+            if self.role_of(n) is NodeRole.HONEST
+        ]
+
+    # ------------------------------------------------------------------
+
+    def report(self, nodes: Optional[list[int]] = None) -> BroadcastReport:
+        """Build the report for the given nodes (default: working honest)."""
+        targets = nodes if nodes is not None else self._honest_working_nodes()
+        reports = []
+        needed = self.generation_count * self.params.generation_size
+        for node_id in targets:
+            recoder = self._recoders.get(node_id)
+            if recoder is None:
+                reports.append(
+                    NodeReport(node_id=node_id, rank=0, needed=needed,
+                               completed_at=None, received=0, innovative=0,
+                               decoded_ok=None)
+                )
+                continue
+            decoded_ok: Optional[bool] = None
+            completed = self._completed_at.get(node_id)
+            if completed is not None:
+                try:
+                    decoded_ok = (
+                        recoder.decoder.recover(len(self.content)) == self.content
+                    )
+                except Exception:
+                    decoded_ok = False
+            reports.append(
+                NodeReport(
+                    node_id=node_id,
+                    rank=recoder.decoder.total_rank,
+                    needed=needed,
+                    completed_at=completed,
+                    received=self._received.get(node_id, 0),
+                    innovative=self._innovative.get(node_id, 0),
+                    decoded_ok=decoded_ok,
+                )
+            )
+        return BroadcastReport(
+            slots=self.slot,
+            nodes=reports,
+            link_stats=self.link_stats,
+            server_packets=self.server_packets,
+        )

@@ -1,0 +1,134 @@
+"""A compact discrete-event simulation engine.
+
+Binary-heap scheduler with cancellable events, periodic processes and a
+watchdog event budget.  The membership/churn drivers and the repair-delay
+experiments run on this; the packet data plane uses the slotted
+simulator in :mod:`repro.sim.broadcast` (the paper's unit-bandwidth
+threads make time slots the natural clock there).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from .events import Event, make_event
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine detects a misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Discrete-event loop.
+
+    >>> sim = Simulator()
+    >>> sim.schedule(5.0, lambda s: print("hello at", s.now))
+    >>> sim.run()
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[Event] = []
+        self.processed = 0
+
+    def schedule(
+        self,
+        time: float,
+        action: Callable[["Simulator"], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute ``time``; returns the Event."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} < now {self.now}")
+        event = make_event(time, action, priority, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        action: Callable[["Simulator"], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` after a relative ``delay``."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        return self.schedule(self.now + delay, action, priority, label)
+
+    def every(
+        self,
+        interval: float,
+        action: Callable[["Simulator"], None],
+        start: Optional[float] = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> Callable[[], None]:
+        """Run ``action`` periodically; returns a stop() function.
+
+        The first firing is at ``start`` (default: now + interval).
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        stopped = {"flag": False}
+        holder: dict[str, Event] = {}
+
+        def fire(sim: "Simulator") -> None:
+            if stopped["flag"]:
+                return
+            action(sim)
+            if not stopped["flag"]:
+                holder["event"] = sim.schedule_after(interval, fire, priority, label)
+
+        first = self.now + interval if start is None else start
+        holder["event"] = self.schedule(first, fire, priority, label)
+
+        def stop() -> None:
+            stopped["flag"] = True
+            event = holder.get("event")
+            if event is not None:
+                event.cancel()
+
+        return stop
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Process events in order until the queue drains or ``until``.
+
+        ``until`` is inclusive: events exactly at ``until`` still fire.
+        ``max_events`` guards against runaway self-scheduling loops.
+        """
+        budget = max_events
+        while self._queue:
+            if budget <= 0:
+                raise SimulationError(f"event budget {max_events} exhausted at t={self.now}")
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.action(self)
+            self.processed += 1
+            budget -= 1
+        if until is not None and self.now < until:
+            self.now = until
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.action(self)
+            self.processed += 1
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return len(self._queue)

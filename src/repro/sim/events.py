@@ -1,0 +1,37 @@
+"""Event types for the discrete-event engine."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Global tiebreaker so simultaneous events fire in scheduling order.
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is (time, priority, sequence): lower fires first.  The
+    callback receives the simulator so handlers can schedule follow-ups.
+    """
+
+    time: float
+    priority: int
+    sequence: int = field(compare=True)
+    action: Callable[["Any"], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+def make_event(time: float, action: Callable[[Any], None],
+               priority: int = 0, label: str = "") -> Event:
+    """Construct an event with a fresh global sequence number."""
+    return Event(time=time, priority=priority, sequence=next(_sequence),
+                 action=action, label=label)

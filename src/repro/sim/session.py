@@ -1,0 +1,187 @@
+"""Scenario orchestration: overlay + data plane + failures in one config.
+
+:class:`SessionConfig` describes a whole experiment — overlay geometry,
+content, coding parameters, per-slot dynamics (failures, repairs, churn,
+losses, attackers) — and :func:`run_session` executes it, returning the
+data-plane report plus event accounting.  The examples and the E7/E11
+benches are thin wrappers over this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..coding.generation import GenerationParams
+from ..core.overlay import OverlayNetwork
+from .broadcast import BroadcastReport, BroadcastSimulation, NodeRole
+from .links import LossModel
+from .rng import RngStreams
+
+
+@dataclass
+class SessionConfig:
+    """Everything needed to run one broadcast scenario.
+
+    Attributes:
+        k: Server threads.
+        d: Per-node threads.
+        population: Initial node count.
+        content_size: Bytes to broadcast.
+        generation_size: Source packets per generation.
+        payload_size: Bytes per packet.
+        loss_rate: Ergodic per-delivery loss probability.
+        fail_probability: Per-node, per-repair-interval probability of a
+            non-ergodic failure during the run.
+        repair_interval: Slots between repair sweeps (failures found in a
+            sweep are spliced out; 0 disables both failures and repairs).
+        join_rate: Nodes joining per repair interval.
+        leave_probability: Per-node graceful-leave probability per repair
+            interval.
+        entropy_attacker_fraction: Fraction of initial nodes replaying
+            trivial combinations (§7).
+        jammer_fraction: Fraction of initial nodes injecting garbage (§7).
+        systematic: Server sends originals first.
+        insert_mode: Matrix row insertion mode ("append"/"uniform").
+        max_slots: Hard stop for the run.
+        seed: Root seed.
+    """
+
+    k: int
+    d: int
+    population: int
+    content_size: int = 16_384
+    generation_size: int = 16
+    payload_size: int = 256
+    loss_rate: float = 0.0
+    fail_probability: float = 0.0
+    repair_interval: int = 0
+    join_rate: int = 0
+    leave_probability: float = 0.0
+    entropy_attacker_fraction: float = 0.0
+    jammer_fraction: float = 0.0
+    systematic: bool = False
+    insert_mode: str = "append"
+    max_slots: int = 5_000
+    seed: Optional[int] = None
+
+
+@dataclass
+class SessionResult:
+    """Outcome of :func:`run_session`."""
+
+    report: BroadcastReport
+    failures_injected: int
+    repairs_performed: int
+    joins: int
+    graceful_leaves: int
+    net: OverlayNetwork = field(repr=False)
+    simulation: BroadcastSimulation = field(repr=False)
+    #: node id -> slot at which it joined (0 for the initial population)
+    joined_at: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def download_durations(self) -> dict[int, int]:
+        """Per-node download time in slots (§1's asynchronous framing).
+
+        A node's download runs from its own join slot to its decode
+        completion; late joiners are measured on their own clock, which
+        is what an asynchronous file-distribution user experiences.
+        Only completed nodes appear.
+        """
+        durations = {}
+        for node in self.report.nodes:
+            if node.completed_at is None:
+                continue
+            durations[node.node_id] = (
+                node.completed_at - self.joined_at.get(node.node_id, 0)
+            )
+        return durations
+
+
+def _assign_roles(
+    node_ids: list[int],
+    config: SessionConfig,
+    rng: np.random.Generator,
+) -> dict[int, NodeRole]:
+    roles: dict[int, NodeRole] = {}
+    count = len(node_ids)
+    n_entropy = int(round(config.entropy_attacker_fraction * count))
+    n_jammer = int(round(config.jammer_fraction * count))
+    if n_entropy + n_jammer > count:
+        raise ValueError("attacker fractions exceed the population")
+    shuffled = list(node_ids)
+    rng.shuffle(shuffled)
+    for node_id in shuffled[:n_entropy]:
+        roles[node_id] = NodeRole.ENTROPY_ATTACKER
+    for node_id in shuffled[n_entropy : n_entropy + n_jammer]:
+        roles[node_id] = NodeRole.JAMMER
+    return roles
+
+
+def run_session(config: SessionConfig) -> SessionResult:
+    """Build the overlay, run the broadcast with dynamics, report."""
+    streams = RngStreams(config.seed)
+    net = OverlayNetwork(
+        k=config.k, d=config.d, seed=streams.get("overlay"),
+        insert_mode=config.insert_mode,
+    )
+    initial = net.grow(config.population)
+    content_rng = streams.get("content")
+    content = content_rng.integers(
+        0, 256, size=config.content_size, dtype=np.uint8
+    ).tobytes()
+    roles = _assign_roles(initial, config, streams.get("roles"))
+    params = GenerationParams(
+        generation_size=config.generation_size, payload_size=config.payload_size
+    )
+    simulation = BroadcastSimulation(
+        net=net,
+        content=content,
+        params=params,
+        seed=config.seed,
+        loss=LossModel(config.loss_rate),
+        roles=roles,
+        systematic=config.systematic,
+    )
+    dynamics_rng = streams.get("dynamics")
+    failures = repairs = joins = leaves = 0
+    joined_at = {node_id: 0 for node_id in initial}
+
+    while simulation.slot < config.max_slots:
+        honest = simulation._honest_working_nodes()
+        if honest and all(
+            n in simulation._completed_at for n in honest
+        ):
+            break
+        interval = config.repair_interval
+        if interval and simulation.slot % interval == 0 and simulation.slot > 0:
+            # Repair sweep first (end of previous interval), then dynamics.
+            repairs += len(net.server.failed)
+            net.repair_all()
+            for node_id in list(net.working_nodes):
+                roll = dynamics_rng.random()
+                if roll < config.fail_probability:
+                    net.fail(node_id)
+                    failures += 1
+                elif roll < config.fail_probability + config.leave_probability:
+                    if net.population > 1:
+                        net.leave(node_id)
+                        leaves += 1
+            for _ in range(config.join_rate):
+                grant = net.join()
+                joined_at[grant.node_id] = simulation.slot
+                joins += 1
+        simulation.step()
+
+    return SessionResult(
+        report=simulation.report(),
+        failures_injected=failures,
+        repairs_performed=repairs,
+        joins=joins,
+        graceful_leaves=leaves,
+        net=net,
+        simulation=simulation,
+        joined_at=joined_at,
+    )

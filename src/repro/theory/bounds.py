@@ -1,0 +1,88 @@
+"""Closed-form predictions of Theorems 4 and 5, for paper-vs-measured rows.
+
+Nothing here touches a network; these are the reference curves the
+benchmark harness prints next to the measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .drift import DriftParameters, drift_roots, paper_a1_epsilon_bound
+
+
+@dataclass(frozen=True)
+class Theorem4Prediction:
+    """Predicted steady-state defect level.
+
+    Attributes:
+        naive: The headline value ``p·d``.
+        attractor: The exact numeric root ``a₁`` of the drift bound —
+            the tightest level the proof guarantees.
+        with_epsilon: The paper's ``(1+ε)·p·d`` ceiling using the proved
+            ε bound (loose but fully rigorous).
+    """
+
+    naive: float
+    attractor: float
+    with_epsilon: float
+
+
+def theorem4_prediction(k: int, d: int, p: float) -> Theorem4Prediction:
+    """Steady-state defect predictions for an operating point."""
+    params = DriftParameters(k=k, d=d, p=p)
+    if p == 0.0:
+        return Theorem4Prediction(naive=0.0, attractor=0.0, with_epsilon=0.0)
+    a1, _ = drift_roots(params)
+    epsilon = paper_a1_epsilon_bound(params)
+    return Theorem4Prediction(
+        naive=p * d,
+        attractor=a1,
+        with_epsilon=(1.0 + epsilon) * p * d,
+    )
+
+
+def expected_bandwidth_loss_fraction(p: float) -> float:
+    """§7: expected *fraction* of bandwidth lost ≈ p, independent of d.
+
+    Each of the d unit threads is lost with probability ≈ p (its parent's
+    failure), and each carries 1/d of the bandwidth.
+    """
+    return p
+
+
+def collapse_exponent(k: int, d: int) -> float:
+    """Theorem 5's scaling variable ``k/d³``.
+
+    The expected number of steps before collapse is at least
+    ``(1/ξ₁)·exp(ξ₂·k/d³)``; experiments fit log(steps) against this.
+    """
+    return k / float(d ** 3)
+
+
+def collapse_probability_bound(
+    steps: int, k: int, d: int, xi1: float, xi2: float
+) -> float:
+    """Corollary 9: P(collapse within ``steps``) ≤ steps·ξ₁·exp(−ξ₂k/d³).
+
+    ξ₁, ξ₂ are the analysis constants; callers fit them empirically.
+    """
+    return min(1.0, steps * xi1 * math.exp(-xi2 * collapse_exponent(k, d)))
+
+
+def lemma6_max_jump_fraction(k: int, d: int) -> float:
+    """Lemma 6: one arrival moves the total defect by at most (d²/k)·A.
+
+    Returned as the fraction of A.
+    """
+    return d * d / float(k)
+
+
+def unicast_capacity(k: int, d: int) -> int:
+    """§2: users a k-unit server could serve by plain unicast, ``⌊k/d⌋``.
+
+    The overlay supports exponentially more (Theorem 5); this is the
+    trivial reference the scalability experiment prints.
+    """
+    return k // d

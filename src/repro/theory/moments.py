@@ -1,0 +1,79 @@
+"""Loss moments: the §7 second-moment programme, executable.
+
+§7 conjectures that losing κ threads is about as likely as losing κ
+parents, i.e. the per-node loss is ≈ Binomial(d, p).  Under that model
+the *fraction* of bandwidth lost, L/d, has
+
+    E[L/d]   = p                      (the paper's headline)
+    Var[L/d] = p(1-p)/d               (the conjectured 1/d decay)
+
+This module provides the model moments and estimators for comparing a
+measured loss histogram against them (used by E9/X3 and available to
+applications sizing d for a target rate variance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LossMoments:
+    """First two moments of the per-thread loss fraction L/d."""
+
+    mean: float
+    variance: float
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+def binomial_loss_moments(d: int, p: float) -> LossMoments:
+    """Model moments under the κ ~ Binomial(d, p) conjecture."""
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    return LossMoments(mean=p, variance=p * (1.0 - p) / d)
+
+
+def binomial_loss_pmf(d: int, p: float) -> list[float]:
+    """P(κ = j) for j = 0..d under the conjecture."""
+    return [
+        math.comb(d, j) * (p ** j) * ((1.0 - p) ** (d - j))
+        for j in range(d + 1)
+    ]
+
+
+def empirical_loss_moments(losses: Sequence[int], d: int) -> LossMoments:
+    """Moments of measured per-node thread losses (each in 0..d)."""
+    if not losses:
+        raise ValueError("no samples")
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    fractions = [loss / d for loss in losses]
+    n = len(fractions)
+    mean = sum(fractions) / n
+    variance = sum((f - mean) ** 2 for f in fractions) / n
+    return LossMoments(mean=mean, variance=variance)
+
+
+def required_d_for_std(p: float, target_std: float, max_d: int = 64) -> int:
+    """Smallest d whose model loss-fraction std meets ``target_std``.
+
+    The §7 sizing question made concrete: "if one wants a more
+    consistent bandwidth, a larger d would be a better choice" — this
+    says how much larger.  Raises if no d up to ``max_d`` suffices.
+    """
+    if target_std <= 0:
+        raise ValueError("target_std must be positive")
+    for d in range(1, max_d + 1):
+        if binomial_loss_moments(d, p).std <= target_std:
+            return d
+    raise ValueError(
+        f"even d={max_d} gives std "
+        f"{binomial_loss_moments(max_d, p).std:.4f} > {target_std}"
+    )

@@ -1,0 +1,24 @@
+"""Workload generation: arrival schedules and named scenarios."""
+
+from .generator import (
+    diurnal_schedule,
+    flash_crowd_schedule,
+    steady_schedule,
+    total_joins,
+)
+from .scenarios import file_download, flash_crowd, live_streaming
+from .trace import ChurnTrace, TraceEvent, TraceRecorder, replay
+
+__all__ = [
+    "ChurnTrace",
+    "TraceEvent",
+    "TraceRecorder",
+    "replay",
+    "diurnal_schedule",
+    "file_download",
+    "flash_crowd",
+    "flash_crowd_schedule",
+    "live_streaming",
+    "steady_schedule",
+    "total_joins",
+]

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OverlayNetwork
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_net() -> OverlayNetwork:
+    """A 40-node overlay with k=12, d=3 (append ordering)."""
+    net = OverlayNetwork(k=12, d=3, seed=77)
+    net.grow(40)
+    return net
+
+
+@pytest.fixture
+def tiny_net() -> OverlayNetwork:
+    """A 10-node overlay with k=6, d=2 (small enough for exact defects)."""
+    net = OverlayNetwork(k=6, d=2, seed=11)
+    net.grow(10)
+    return net
+
+
+@pytest.fixture
+def uniform_net() -> OverlayNetwork:
+    """A 40-node overlay using §5 random row insertion."""
+    net = OverlayNetwork(k=12, d=3, seed=78, insert_mode="uniform")
+    net.grow(40)
+    return net

@@ -1,0 +1,57 @@
+"""Unit tests for broadcast capacity analysis."""
+
+import pytest
+
+from repro.analysis import (
+    broadcast_capacity,
+    capacity_matches_branchings,
+)
+from repro.core import OverlayNetwork
+
+
+class TestBroadcastCapacity:
+    def test_healthy_overlay_capacity_is_d(self, small_net):
+        report = broadcast_capacity(small_net.matrix)
+        assert report.capacity == 3
+        assert report.mean_connectivity == 3.0
+        assert len(report.bottlenecks) == 40  # everyone at d
+
+    def test_failure_lowers_capacity(self, small_net):
+        victim = small_net.matrix.node_ids[0]
+        children = {
+            c for c in small_net.matrix.children_of(victim).values()
+            if c is not None
+        }
+        small_net.fail(victim)
+        report = broadcast_capacity(small_net.matrix, small_net.failed)
+        assert report.capacity < 3
+        assert set(report.bottlenecks) <= children
+
+    def test_empty_overlay(self):
+        net = OverlayNetwork(k=8, d=2, seed=1)
+        report = broadcast_capacity(net.matrix)
+        assert report.capacity == 0
+        assert report.bottlenecks == ()
+
+    def test_all_failed(self, tiny_net):
+        for node in list(tiny_net.working_nodes):
+            tiny_net.fail(node)
+        report = broadcast_capacity(tiny_net.matrix, tiny_net.failed)
+        assert report.capacity == 0
+
+    def test_connectivity_dict_complete(self, small_net):
+        report = broadcast_capacity(small_net.matrix)
+        assert set(report.connectivity) == set(small_net.matrix.node_ids)
+
+
+class TestEdmondsEquivalence:
+    def test_healthy_overlay(self, tiny_net):
+        assert capacity_matches_branchings(tiny_net.matrix)
+
+    def test_with_failures(self, tiny_net):
+        tiny_net.fail(tiny_net.matrix.node_ids[2])
+        assert capacity_matches_branchings(tiny_net.matrix, tiny_net.failed)
+
+    def test_trivial_empty(self):
+        net = OverlayNetwork(k=6, d=2, seed=2)
+        assert capacity_matches_branchings(net.matrix)

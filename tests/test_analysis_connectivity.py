@@ -1,0 +1,120 @@
+"""Unit tests for connectivity measurement, with a networkx oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis import (
+    TupleConnectivitySolver,
+    all_node_connectivities,
+    node_connectivity,
+)
+from repro.core import SERVER, ThreadMatrix, build_overlay_graph
+
+
+@pytest.fixture
+def matrix(rng):
+    m = ThreadMatrix(k=6)
+    m.join(0, 2, rng, columns=[0, 1])
+    m.join(1, 2, rng, columns=[1, 2])
+    m.join(2, 2, rng, columns=[0, 2])
+    m.join(3, 2, rng, columns=[3, 4])
+    return m
+
+
+def nx_connectivity(matrix, node_id, failed=frozenset()):
+    graph = build_overlay_graph(matrix, failed)
+    if node_id not in graph.nodes:
+        return 0
+    g = nx.DiGraph()
+    for u, targets in graph.succ.items():
+        for v, mult in targets.items():
+            g.add_edge(u, v, capacity=mult)
+    if not g.has_node(node_id) or not g.has_node(SERVER):
+        return 0
+    return int(nx.maximum_flow_value(g, SERVER, node_id))
+
+
+class TestNodeConnectivity:
+    def test_healthy_network_full_d(self, matrix):
+        for node in (0, 1, 2, 3):
+            assert node_connectivity(matrix, node) == 2
+
+    def test_failed_node_zero(self, matrix):
+        assert node_connectivity(matrix, 1, failed={1}) == 0
+
+    def test_child_of_failed_loses_one(self, matrix):
+        # node 2's parents: column 0 -> node 0, column 2 -> node 1
+        assert node_connectivity(matrix, 2, failed={1}) == 1
+        assert node_connectivity(matrix, 2, failed={0, 1}) == 0
+
+    def test_independent_node_unaffected(self, matrix):
+        assert node_connectivity(matrix, 3, failed={0, 1, 2}) == 2
+
+    def test_matches_networkx(self, matrix):
+        for failed in (frozenset(), {0}, {1}, {0, 1}):
+            for node in (0, 1, 2, 3):
+                if node in failed:
+                    continue
+                assert node_connectivity(matrix, node, failed) == nx_connectivity(
+                    matrix, node, failed
+                )
+
+    def test_bulk_matches_single(self, matrix):
+        bulk = all_node_connectivities(matrix, failed={0})
+        for node in (1, 2, 3):
+            assert bulk[node] == node_connectivity(matrix, node, failed={0})
+        assert bulk[0] == 0
+
+    def test_bulk_on_larger_net(self, small_net):
+        small_net.fail(1)
+        small_net.fail(4)
+        bulk = all_node_connectivities(small_net.matrix, small_net.failed)
+        assert all(0 <= c <= 3 for c in bulk.values())
+
+
+class TestTupleConnectivity:
+    def test_full_tuple_healthy(self, matrix):
+        solver = TupleConnectivitySolver(matrix)
+        assert solver.connectivity([0, 1]) == 2
+        assert solver.defect([0, 1]) == 0
+
+    def test_tuple_with_dead_hanging_thread(self, matrix):
+        # column 0's hanging owner is node 2; fail it
+        solver = TupleConnectivitySolver(matrix, failed={2})
+        assert solver.connectivity([0, 3]) == 1
+        assert solver.defect([0, 3]) == 1
+
+    def test_all_dead_tuple(self, matrix):
+        solver = TupleConnectivitySolver(matrix, failed={2})
+        # columns 0 and 2 both hang off node 2
+        assert solver.connectivity([0, 2]) == 0
+        assert solver.defect([0, 2]) == 2
+
+    def test_repeated_queries_are_stable(self, matrix):
+        solver = TupleConnectivitySolver(matrix, failed={1})
+        first = [solver.connectivity([0, 2]) for _ in range(5)]
+        assert len(set(first)) == 1
+
+    def test_shared_owner_tuple(self, rng):
+        """Two chosen threads hanging off the same node: capacity adds."""
+        m = ThreadMatrix(k=4)
+        m.join(0, 2, rng, columns=[0, 1])
+        solver = TupleConnectivitySolver(m)
+        # both hanging threads 0 and 1 belong to node 0, which has conn 2
+        assert solver.connectivity([0, 1]) == 2
+
+    def test_single_thread_bottleneck(self, rng):
+        """A chain shares one thread: tuple through it caps at chain conn."""
+        m = ThreadMatrix(k=4)
+        m.join(0, 2, rng, columns=[0, 1])
+        m.join(1, 2, rng, columns=[0, 1])
+        solver = TupleConnectivitySolver(m, failed={0})
+        # node 1's threads both ran through failed node 0
+        assert solver.connectivity([0, 1]) == 0
+
+    def test_server_hanging_threads_always_live(self, rng):
+        m = ThreadMatrix(k=5)
+        m.join(0, 2, rng, columns=[0, 1])
+        solver = TupleConnectivitySolver(m, failed={0})
+        # columns 2,3 hang straight from the rod
+        assert solver.connectivity([2, 3]) == 2

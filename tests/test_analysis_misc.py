@@ -1,0 +1,138 @@
+"""Unit tests for expansion, delay and statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ancestor_counts,
+    chi_square_same_distribution,
+    delay_profile,
+    ks_same_distribution,
+    mean_ci,
+    mean_grandparent_count,
+    pipeline_depth_profile,
+    proportion_ci,
+    vertex_expansion_sample,
+)
+from repro.core import OverlayNetwork
+
+
+class TestExpansion:
+    def test_ancestor_counts_shape(self, small_net):
+        graph = small_net.graph()
+        bottom = small_net.matrix.node_ids[-1]
+        counts = ancestor_counts(graph, bottom, 3)
+        assert len(counts) == 3
+        assert counts[0] <= small_net.d  # distinct parents
+
+    def test_ancestor_counts_top_node(self, small_net):
+        graph = small_net.graph()
+        top = small_net.matrix.node_ids[0]
+        counts = ancestor_counts(graph, top, 2)
+        assert counts == [0, 0]  # only the server above
+
+    def test_invalid_depth(self, small_net):
+        with pytest.raises(ValueError):
+            ancestor_counts(small_net.graph(), 0, 0)
+
+    def test_grandparents_grow_with_d(self):
+        """§1 intuition: d parents lead to roughly d^2 grandparents."""
+        means = {}
+        for d in (2, 4):
+            net = OverlayNetwork(k=8 * d, d=d, seed=42)
+            net.grow(500)
+            graph = net.graph()
+            deep = net.matrix.node_ids[-100:]
+            means[d] = mean_grandparent_count(graph, deep)
+        assert means[4] > 2.0 * means[2]
+
+    def test_vertex_expansion_positive(self, small_net, rng):
+        ratio = vertex_expansion_sample(small_net.graph(), rng, set_size=5, samples=20)
+        assert ratio > 0.0
+
+    def test_vertex_expansion_set_too_big(self, tiny_net, rng):
+        with pytest.raises(ValueError):
+            vertex_expansion_sample(tiny_net.graph(), rng, set_size=100)
+
+
+class TestDelay:
+    def test_profile_fields(self, small_net):
+        profile = delay_profile(small_net.graph())
+        assert profile.population == 40
+        assert profile.unreachable == 0
+        assert 1 <= profile.mean_depth <= profile.max_depth
+        assert profile.p95_depth <= profile.max_depth
+
+    def test_pipeline_at_least_shortest(self, small_net):
+        graph = small_net.graph()
+        shortest = delay_profile(graph)
+        longest = pipeline_depth_profile(graph)
+        assert longest.max_depth >= shortest.max_depth
+        assert longest.mean_depth >= shortest.mean_depth
+
+    def test_unreachable_counted(self, small_net):
+        # fail the entire top half: some bottom nodes get cut off entirely
+        for node in small_net.matrix.node_ids[:20]:
+            small_net.fail(node)
+        profile = delay_profile(small_net.graph())
+        assert profile.population == 20
+        assert profile.unreachable >= 0
+
+    def test_empty_graph(self):
+        net = OverlayNetwork(k=6, d=2, seed=0)
+        profile = delay_profile(net.graph())
+        assert profile.population == 0
+        assert profile.mean_depth == 0.0
+
+
+class TestStats:
+    def test_mean_ci_contains_truth(self, rng):
+        samples = rng.normal(5.0, 1.0, size=400)
+        estimate = mean_ci(samples)
+        assert estimate.low < 5.0 < estimate.high
+        assert estimate.n == 400
+
+    def test_mean_ci_single_sample(self):
+        estimate = mean_ci([3.0])
+        assert estimate.mean == 3.0
+        assert estimate.half_width == float("inf")
+
+    def test_mean_ci_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_proportion_ci_bounds(self):
+        estimate = proportion_ci(30, 100)
+        assert 0.2 < estimate.low < 0.3 < estimate.high < 0.42
+
+    def test_proportion_ci_extremes(self):
+        zero = proportion_ci(0, 50)
+        assert zero.low >= 0.0 or zero.mean - zero.half_width < 0.05
+        with pytest.raises(ValueError):
+            proportion_ci(1, 0)
+
+    def test_chi_square_same_distribution_accepts_identical(self, rng):
+        counts = rng.integers(50, 100, size=6)
+        _, p_value = chi_square_same_distribution(counts, counts)
+        assert p_value > 0.9
+
+    def test_chi_square_detects_difference(self):
+        a = [100, 10, 10, 10]
+        b = [10, 10, 10, 100]
+        _, p_value = chi_square_same_distribution(a, b)
+        assert p_value < 0.001
+
+    def test_chi_square_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_same_distribution([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            chi_square_same_distribution([0, 0], [0, 0])
+
+    def test_ks_same_distribution(self, rng):
+        a = rng.normal(0, 1, size=300)
+        b = rng.normal(0, 1, size=300)
+        c = rng.normal(2, 1, size=300)
+        _, p_same = ks_same_distribution(a, b)
+        _, p_diff = ks_same_distribution(a, c)
+        assert p_same > 0.01
+        assert p_diff < 0.001

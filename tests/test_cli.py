@@ -1,0 +1,51 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "nonsense"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["overlay"])
+        assert args.k == 24 and args.d == 3 and args.peers == 200
+
+
+class TestCommands:
+    def test_overlay(self, capsys):
+        code = main(["overlay", "--k", "10", "--d", "2", "--peers", "30",
+                     "--defect-samples", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "connectivity histogram" in out
+        assert "depth" in out
+
+    def test_overlay_with_failures_and_uniform(self, capsys):
+        code = main(["overlay", "--k", "10", "--d", "2", "--peers", "30",
+                     "--fail", "3", "--insert-mode", "uniform",
+                     "--defect-samples", "30"])
+        assert code == 0
+        assert "failed=3" in capsys.readouterr().out
+
+    def test_collapse(self, capsys):
+        code = main(["collapse", "--k", "10", "--d", "2", "--p", "0.05",
+                     "--runs", "2", "--max-steps", "20000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean collapse steps" in out
+
+    def test_scenario_small(self, capsys):
+        code = main(["scenario", "file_download", "--seed", "1",
+                     "--population", "10", "--max-slots", "600"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "completion" in out
+        assert "corrupt decodes: 0" in out

@@ -1,0 +1,80 @@
+"""Unit tests for generation splitting and reassembly."""
+
+import numpy as np
+import pytest
+
+from repro.coding import GenerationParams, join_content, split_content
+
+
+class TestGenerationParams:
+    def test_valid(self):
+        params = GenerationParams(generation_size=8, payload_size=32)
+        assert params.generation_bytes == 256
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GenerationParams(generation_size=0, payload_size=32)
+        with pytest.raises(ValueError):
+            GenerationParams(generation_size=8, payload_size=0)
+
+    def test_generations_for(self):
+        params = GenerationParams(generation_size=4, payload_size=4)  # 16 B/gen
+        assert params.generations_for(0) == 1
+        assert params.generations_for(1) == 1
+        assert params.generations_for(16) == 1
+        assert params.generations_for(17) == 2
+        assert params.generations_for(160) == 10
+
+    def test_generations_for_negative_raises(self):
+        params = GenerationParams(generation_size=4, payload_size=4)
+        with pytest.raises(ValueError):
+            params.generations_for(-1)
+
+
+class TestSplitJoin:
+    def test_roundtrip_exact_multiple(self, rng):
+        params = GenerationParams(generation_size=4, payload_size=8)
+        content = bytes(rng.integers(0, 256, size=64, dtype=np.uint8))
+        blocks = split_content(content, params)
+        assert len(blocks) == 2
+        assert join_content(blocks, len(content)) == content
+
+    def test_roundtrip_with_padding(self, rng):
+        params = GenerationParams(generation_size=4, payload_size=8)
+        content = bytes(rng.integers(0, 256, size=45, dtype=np.uint8))
+        blocks = split_content(content, params)
+        assert len(blocks) == 2
+        # final generation padded with zeros
+        flat = np.concatenate([b.data.reshape(-1) for b in blocks])
+        assert not flat[45:].any()
+        assert join_content(blocks, len(content)) == content
+
+    def test_empty_content(self):
+        params = GenerationParams(generation_size=2, payload_size=2)
+        blocks = split_content(b"", params)
+        assert len(blocks) == 1
+        assert join_content(blocks, 0) == b""
+
+    def test_block_shapes(self, rng):
+        params = GenerationParams(generation_size=3, payload_size=5)
+        blocks = split_content(bytes(40), params)
+        for block in blocks:
+            assert block.data.shape == (3, 5)
+
+    def test_join_detects_missing_generation(self, rng):
+        params = GenerationParams(generation_size=2, payload_size=4)
+        blocks = split_content(bytes(32), params)
+        with pytest.raises(ValueError):
+            join_content(blocks[1:], 8)
+
+    def test_join_unsorted_input_ok(self, rng):
+        params = GenerationParams(generation_size=2, payload_size=4)
+        content = bytes(rng.integers(0, 256, size=32, dtype=np.uint8))
+        blocks = split_content(content, params)
+        assert join_content(list(reversed(blocks)), len(content)) == content
+
+    def test_join_length_overflow_raises(self):
+        params = GenerationParams(generation_size=2, payload_size=4)
+        blocks = split_content(bytes(8), params)
+        with pytest.raises(ValueError):
+            join_content(blocks, 100)

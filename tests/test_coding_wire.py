@@ -1,0 +1,83 @@
+"""Unit tests for the packet wire format."""
+
+import numpy as np
+import pytest
+
+from repro.coding import CodedPacket, GenerationParams, SourceEncoder
+from repro.coding.wire import (
+    MAGIC,
+    WireFormatError,
+    decode_packet,
+    encode_packet,
+    frame_size,
+)
+
+
+@pytest.fixture
+def packet(rng):
+    params = GenerationParams(generation_size=8, payload_size=64)
+    content = bytes(rng.integers(0, 256, size=512, dtype=np.uint8))
+    return SourceEncoder(content, params, rng).emit(0)
+
+
+class TestRoundtrip:
+    def test_fields_preserved(self, packet):
+        packet.origin = 42
+        decoded = decode_packet(encode_packet(packet))
+        assert decoded.generation == packet.generation
+        assert decoded.origin == 42
+        assert np.array_equal(decoded.coefficients, packet.coefficients)
+        assert np.array_equal(decoded.payload, packet.payload)
+
+    def test_server_origin_negative(self, packet):
+        packet.origin = -1
+        assert decode_packet(encode_packet(packet)).origin == -1
+
+    def test_frame_size_matches(self, packet):
+        frame = encode_packet(packet)
+        assert len(frame) == frame_size(packet.generation_size,
+                                        packet.payload_size)
+
+    def test_decoded_packet_still_decodes(self, rng):
+        """Wire roundtrip must not disturb decodability."""
+        from repro.coding import Decoder
+
+        params = GenerationParams(generation_size=6, payload_size=32)
+        content = bytes(rng.integers(0, 256, size=192, dtype=np.uint8))
+        encoder = SourceEncoder(content, params, rng)
+        decoder = Decoder(params, encoder.generation_count)
+        while not decoder.is_complete:
+            decoder.push(decode_packet(encode_packet(encoder.emit())))
+        assert decoder.recover(len(content)) == content
+
+    def test_systematic_flag(self, rng):
+        params = GenerationParams(generation_size=4, payload_size=8)
+        content = bytes(32)
+        encoder = SourceEncoder(content, params, rng, systematic_first=True)
+        frame = encode_packet(encoder.emit(0))
+        assert frame[3] & 0x01  # flags byte carries the systematic hint
+
+
+class TestErrors:
+    def test_truncated_header(self):
+        with pytest.raises(WireFormatError):
+            decode_packet(b"\x00\x01")
+
+    def test_bad_magic(self, packet):
+        frame = bytearray(encode_packet(packet))
+        frame[0] ^= 0xFF
+        with pytest.raises(WireFormatError):
+            decode_packet(bytes(frame))
+
+    def test_bad_version(self, packet):
+        frame = bytearray(encode_packet(packet))
+        frame[2] = 99
+        with pytest.raises(WireFormatError):
+            decode_packet(bytes(frame))
+
+    def test_length_mismatch(self, packet):
+        frame = encode_packet(packet)
+        with pytest.raises(WireFormatError):
+            decode_packet(frame[:-1])
+        with pytest.raises(WireFormatError):
+            decode_packet(frame + b"\x00")

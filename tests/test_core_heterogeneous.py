@@ -1,0 +1,82 @@
+"""Unit tests for §5 heterogeneous bandwidth classes."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_CLASSES,
+    BandwidthClass,
+    OverlayNetwork,
+    class_connectivity_report,
+    join_population,
+)
+
+
+class TestBandwidthClass:
+    def test_valid(self):
+        cls = BandwidthClass("t1", 8)
+        assert cls.degree == 8
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            BandwidthClass("bad", 0)
+
+    def test_defaults_exist(self):
+        names = {cls.name for cls in DEFAULT_CLASSES}
+        assert {"dsl", "cable", "t1"} <= names
+
+
+class TestJoinPopulation:
+    def test_mixed_degrees(self, rng):
+        net = OverlayNetwork(k=24, d=4, seed=1)
+        membership = join_population(
+            net, DEFAULT_CLASSES, weights=[1, 1, 1], count=60, rng=rng
+        )
+        assert len(membership) == 60
+        degrees = {net.matrix.row(n).degree for n in membership}
+        assert degrees == {2, 4, 8}
+        net.matrix.check_invariants()
+
+    def test_weights_respected(self, rng):
+        net = OverlayNetwork(k=24, d=4, seed=2)
+        membership = join_population(
+            net, DEFAULT_CLASSES, weights=[1, 0, 0], count=30, rng=rng
+        )
+        assert all(cls.name == "dsl" for cls in membership.values())
+
+    def test_validation(self, rng):
+        net = OverlayNetwork(k=24, d=4, seed=3)
+        with pytest.raises(ValueError):
+            join_population(net, DEFAULT_CLASSES, weights=[1, 1], count=5, rng=rng)
+        with pytest.raises(ValueError):
+            join_population(net, DEFAULT_CLASSES, weights=[0, 0, 0], count=5, rng=rng)
+
+
+class TestConnectivityReport:
+    def test_report_structure(self, rng):
+        net = OverlayNetwork(k=24, d=4, seed=4)
+        membership = join_population(
+            net, DEFAULT_CLASSES, weights=[2, 2, 1], count=50, rng=rng
+        )
+        report = class_connectivity_report(net, membership)
+        assert set(report) <= {"dsl", "cable", "t1"}
+        total = sum(row["nodes"] for row in report.values())
+        assert total == 50
+
+    def test_no_failures_means_full_fraction(self, rng):
+        """Without failures every class gets its full nominal bandwidth."""
+        net = OverlayNetwork(k=24, d=4, seed=5)
+        membership = join_population(
+            net, DEFAULT_CLASSES, weights=[1, 1, 1], count=40, rng=rng
+        )
+        report = class_connectivity_report(net, membership)
+        for row in report.values():
+            assert row["mean_fraction"] == pytest.approx(1.0)
+
+    def test_higher_class_gets_more_bandwidth(self, rng):
+        """§5: a T1 user receives more units than a DSL user."""
+        net = OverlayNetwork(k=24, d=4, seed=6)
+        membership = join_population(
+            net, DEFAULT_CLASSES, weights=[1, 1, 1], count=60, rng=rng
+        )
+        report = class_connectivity_report(net, membership)
+        assert report["t1"]["mean_connectivity"] > report["dsl"]["mean_connectivity"]

@@ -1,0 +1,95 @@
+"""Property-based tests: random operation sequences keep M consistent."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SERVER, ThreadMatrix, UniformKeys
+from repro.core.keys import AppendKeys
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["join", "leave", "drop", "add"]),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def apply_ops(matrix: ThreadMatrix, ops, rng, d=2):
+    """Apply a random op sequence, skipping inapplicable ops."""
+    next_id = 0
+    for op, raw in ops:
+        present = matrix.node_ids
+        if op == "join":
+            matrix.join(next_id, d, rng)
+            next_id += 1
+        elif op == "leave" and present:
+            matrix.leave(present[raw % len(present)])
+        elif op == "drop" and present:
+            victim = present[raw % len(present)]
+            if matrix.row(victim).degree > 1:
+                matrix.drop_thread(victim, rng=rng)
+        elif op == "add" and present:
+            victim = present[raw % len(present)]
+            if matrix.row(victim).degree < matrix.k:
+                matrix.add_thread(victim, rng=rng)
+    return matrix
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=operations, seed=st.integers(min_value=0, max_value=2**31 - 1),
+       uniform=st.booleans())
+def test_invariants_hold_under_any_op_sequence(ops, seed, uniform):
+    rng = np.random.default_rng(seed)
+    allocator = UniformKeys(rng) if uniform else AppendKeys()
+    matrix = ThreadMatrix(k=6, allocator=allocator)
+    apply_ops(matrix, ops, rng)
+    matrix.check_invariants()
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=operations, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_parent_child_are_mutually_consistent(ops, seed):
+    rng = np.random.default_rng(seed)
+    matrix = apply_ops(ThreadMatrix(k=6), ops, rng)
+    for node_id in matrix.node_ids:
+        for column, parent in matrix.parents_of(node_id).items():
+            if parent != SERVER:
+                assert matrix.child_in_column(parent, column) == node_id
+        for column, child in matrix.children_of(node_id).items():
+            if child is not None:
+                assert matrix.parent_in_column(child, column) == node_id
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=operations, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_edge_counts_match_column_occupancy(ops, seed):
+    rng = np.random.default_rng(seed)
+    matrix = apply_ops(ThreadMatrix(k=6), ops, rng)
+    # every occupant of a column contributes exactly one incoming segment
+    expected = sum(len(matrix.column_chain(c)) for c in range(matrix.k))
+    assert sum(matrix.edge_multiplicities().values()) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=operations, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_hanging_threads_always_number_k(ops, seed):
+    """Invariant from §3: 'at all times there are k threads freely hanging'."""
+    rng = np.random.default_rng(seed)
+    matrix = apply_ops(ThreadMatrix(k=6), ops, rng)
+    assert len(matrix.hanging_owners()) == matrix.k
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=operations, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_dense_view_consistent(ops, seed):
+    rng = np.random.default_rng(seed)
+    matrix = apply_ops(ThreadMatrix(k=6), ops, rng)
+    dense = matrix.to_dense()
+    assert dense.shape == (len(matrix), matrix.k)
+    order = matrix.node_ids
+    for i, node_id in enumerate(order):
+        assert set(np.nonzero(dense[i])[0]) == matrix.columns_of(node_id)

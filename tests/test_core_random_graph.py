@@ -1,0 +1,83 @@
+"""Unit tests for the §6 random-graph (low-delay) overlay variant."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import RandomGraphOverlay
+
+
+class TestConstruction:
+    def test_bootstrap_slots(self):
+        overlay = RandomGraphOverlay(k=8, d=2, seed=1)
+        assert overlay.population == 0
+        assert len(overlay.edges) == 8
+        assert all(v is None for _, v in overlay.edges)
+
+    def test_join_preserves_edge_count(self):
+        overlay = RandomGraphOverlay(k=8, d=2, seed=2)
+        for expected in range(1, 20):
+            overlay.join()
+            # each join removes d edges and adds 2d
+            assert len(overlay.edges) == 8 + expected * 2
+
+    def test_degrees_are_d(self):
+        overlay = RandomGraphOverlay(k=9, d=3, seed=3)
+        overlay.grow(40)
+        graph = overlay.to_overlay_graph()
+        for node in graph.nodes:
+            assert graph.in_degree(node) == 3
+            assert graph.out_degree(node) <= 3  # unserved slots excluded
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomGraphOverlay(k=2, d=3)
+        with pytest.raises(ValueError):
+            RandomGraphOverlay(k=4, d=0)
+
+
+class TestLeave:
+    def test_leave_preserves_degrees(self):
+        overlay = RandomGraphOverlay(k=8, d=2, seed=4)
+        nodes = overlay.grow(30)
+        overlay.leave(nodes[10])
+        graph = overlay.to_overlay_graph()
+        assert nodes[10] not in graph.nodes
+        for node in graph.nodes:
+            assert graph.in_degree(node) == 2
+
+    def test_leave_unknown_raises(self):
+        overlay = RandomGraphOverlay(k=8, d=2, seed=5)
+        with pytest.raises(KeyError):
+            overlay.leave(123)
+
+    def test_leave_keeps_edge_count(self):
+        overlay = RandomGraphOverlay(k=8, d=2, seed=6)
+        nodes = overlay.grow(20)
+        before = len(overlay.edges)
+        overlay.leave(nodes[5])
+        assert len(overlay.edges) == before - 2 * 2 + 2  # -in -out +spliced
+
+
+class TestDelayScaling:
+    def test_depth_logarithmic(self):
+        """§6: random-graph depth grows ~log N, not linearly."""
+        overlay = RandomGraphOverlay(k=12, d=3, seed=7)
+        overlay.grow(800)
+        depths = overlay.depths_from_server()
+        assert len(depths) == 800  # everyone reachable
+        max_depth = max(depths.values())
+        # generous logarithmic envelope (base d expansion)
+        assert max_depth <= 6 * math.log(800, 3) + 6
+
+    def test_depth_much_smaller_than_population(self):
+        overlay = RandomGraphOverlay(k=12, d=3, seed=8)
+        overlay.grow(400)
+        assert max(overlay.depths_from_server().values()) < 40
+
+    def test_cycles_usually_appear(self):
+        """The price of low delay: acyclicity is not maintained."""
+        overlay = RandomGraphOverlay(k=8, d=3, seed=9)
+        overlay.grow(300)
+        assert not overlay.is_acyclic()

@@ -1,0 +1,115 @@
+"""Unit tests for overlay snapshot/restore."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoordinationServer, NodeStatus
+from repro.core.snapshot import (
+    load_snapshot,
+    restore_server,
+    save_snapshot,
+    snapshot_server,
+)
+
+
+@pytest.fixture
+def busy_server(rng):
+    """A server with joins, a failure, congestion and a heterogeneous node."""
+    server = CoordinationServer(k=12, d=3, rng=rng)
+    for _ in range(20):
+        server.hello()
+    server.hello(d=5)
+    server.fail(4)
+    server.congestion_drop(7)
+    server.goodbye(9)
+    return server
+
+
+class TestRoundtrip:
+    def test_topology_identical(self, busy_server):
+        restored = restore_server(snapshot_server(busy_server), seed=99)
+        original = busy_server.matrix
+        assert restored.matrix.node_ids == original.node_ids
+        for node_id in original.node_ids:
+            assert restored.matrix.columns_of(node_id) == original.columns_of(node_id)
+            assert restored.matrix.parents_of(node_id) == original.parents_of(node_id)
+            assert restored.matrix.children_of(node_id) == original.children_of(node_id)
+        assert restored.matrix.hanging_owners() == original.hanging_owners()
+
+    def test_registry_and_failures_identical(self, busy_server):
+        restored = restore_server(snapshot_server(busy_server), seed=99)
+        assert restored.failed == busy_server.failed
+        for node_id, info in busy_server.registry.items():
+            copy = restored.registry[node_id]
+            assert copy.nominal_degree == info.nominal_degree
+            assert copy.status == info.status
+            assert copy.dropped_threads == info.dropped_threads
+        assert restored.registry[4].status is NodeStatus.FAILED
+        assert restored.registry[7].status is NodeStatus.CONGESTED
+
+    def test_json_file_roundtrip(self, busy_server, tmp_path):
+        path = tmp_path / "overlay.json"
+        save_snapshot(busy_server, path)
+        restored = load_snapshot(path, seed=1)
+        assert restored.matrix.to_dense().tolist() == \
+            busy_server.matrix.to_dense().tolist()
+
+    def test_version_check(self, busy_server):
+        document = snapshot_server(busy_server)
+        document["version"] = 42
+        with pytest.raises(ValueError):
+            restore_server(document)
+
+
+class TestResumedOperation:
+    def test_ids_continue_without_collision(self, busy_server):
+        restored = restore_server(snapshot_server(busy_server), seed=5)
+        existing = set(restored.matrix.node_ids)
+        grant = restored.hello()
+        assert grant.node_id not in existing
+        restored.matrix.check_invariants()
+
+    def test_appends_land_at_the_bottom(self, busy_server):
+        """Restored append-mode servers must keep appending below every
+        restored row (keys continue past the recorded maximum)."""
+        restored = restore_server(snapshot_server(busy_server), seed=5)
+        grant = restored.hello()
+        assert restored.matrix.node_ids[-1] == grant.node_id
+
+    def test_pending_repairs_still_work(self, busy_server):
+        restored = restore_server(snapshot_server(busy_server), seed=5)
+        assert 4 in restored.failed
+        restored.repair(4)
+        assert 4 not in restored.matrix
+        restored.matrix.check_invariants()
+
+    def test_uniform_mode_restores(self, rng):
+        server = CoordinationServer(k=10, d=2, rng=rng, insert_mode="uniform")
+        for _ in range(30):
+            server.hello()
+        restored = restore_server(snapshot_server(server), seed=6)
+        assert restored.insert_mode == "uniform"
+        assert restored.matrix.node_ids == server.matrix.node_ids
+        restored.hello()  # uniform insertion still works post-restore
+        restored.matrix.check_invariants()
+
+    def test_restored_overlay_carries_broadcast(self, busy_server):
+        """End to end: a restored overlay serves a bit-exact download."""
+        from repro.coding import GenerationParams
+        from repro.core import OverlayNetwork
+        from repro.sim import BroadcastSimulation
+
+        busy_server.repair_all()
+        restored = restore_server(snapshot_server(busy_server), seed=7)
+        facade = OverlayNetwork.__new__(OverlayNetwork)
+        facade.rng = np.random.default_rng(8)
+        facade.server = restored
+        content = bytes(np.random.default_rng(9).integers(
+            0, 256, size=800, dtype=np.uint8
+        ))
+        sim = BroadcastSimulation(
+            facade, content, GenerationParams(6, 50), seed=10
+        )
+        report = sim.run_until_complete(max_slots=800)
+        assert report.completion_fraction == 1.0
+        assert all(n.decoded_ok for n in report.nodes)

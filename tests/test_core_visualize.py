@@ -1,0 +1,52 @@
+"""Unit tests for the ASCII matrix renderer."""
+
+from repro.core import OverlayNetwork
+from repro.core.visualize import matrix_summary, render_matrix
+
+
+class TestRenderMatrix:
+    def test_small_matrix_full(self, tiny_net):
+        text = render_matrix(tiny_net.matrix)
+        lines = text.splitlines()
+        # header + separator + 10 rows + hanging footer
+        assert len(lines) == 13
+        assert lines[-1].strip().startswith("hanging")
+        # every row has exactly d marks
+        for line in lines[2:-1]:
+            cells = line.split("| ")[1]
+            assert cells.count("#") + cells.count("X") == 2
+
+    def test_failed_rows_marked(self, tiny_net):
+        victim = tiny_net.matrix.node_ids[3]
+        tiny_net.fail(victim)
+        text = render_matrix(tiny_net.matrix, tiny_net.failed)
+        assert f"{victim}!" in text
+        assert "X" in text
+
+    def test_hanging_footer_symbols(self, tiny_net):
+        tiny_net.fail(tiny_net.matrix.node_ids[-1])
+        text = render_matrix(tiny_net.matrix, tiny_net.failed)
+        footer = text.splitlines()[-1].split("| ")[1]
+        assert set(footer) <= {"s", "v", "!"}
+        assert "!" in footer  # the bottom node owned hanging threads
+
+    def test_large_matrix_elided(self):
+        net = OverlayNetwork(k=10, d=2, seed=5)
+        net.grow(200)
+        text = render_matrix(net.matrix, max_rows=20)
+        assert "rows elided" in text
+        assert len(text.splitlines()) < 30
+
+    def test_empty_matrix(self):
+        net = OverlayNetwork(k=6, d=2, seed=6)
+        text = render_matrix(net.matrix)
+        footer = text.splitlines()[-1].split("| ")[1]
+        assert footer == "s" * 6
+
+
+class TestMatrixSummary:
+    def test_counts(self, tiny_net):
+        tiny_net.fail(tiny_net.matrix.node_ids[-1])
+        summary = matrix_summary(tiny_net.matrix, tiny_net.failed)
+        assert "10 rows x 6 cols" in summary
+        assert "1 failed" in summary

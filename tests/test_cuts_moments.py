@@ -1,0 +1,106 @@
+"""Unit tests for min-cut witnesses and loss-moment analytics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import cut_mentions_failed_parents, min_cut
+from repro.core import OverlayNetwork
+from repro.theory import (
+    binomial_loss_moments,
+    binomial_loss_pmf,
+    empirical_loss_moments,
+    required_d_for_std,
+)
+
+
+class TestMinCut:
+    def test_value_matches_connectivity(self, small_net):
+        small_net.fail(small_net.matrix.node_ids[0])
+        for node in small_net.working_nodes[:10]:
+            value, cut = min_cut(small_net.matrix, node, small_net.failed)
+            assert value == small_net.connectivity(node)
+            assert len(cut) == value  # max-flow = min-cut
+
+    def test_cut_is_separating(self, small_net):
+        """Removing the witness edges really disconnects the node."""
+        from repro.analysis import FlowNetwork
+        from repro.core import SERVER, build_overlay_graph
+
+        node = small_net.matrix.node_ids[-1]
+        value, cut = min_cut(small_net.matrix, node)
+        assert value == 3
+        graph = build_overlay_graph(small_net.matrix)
+        network = FlowNetwork()
+        network.vertex(SERVER)
+        remaining = dict()
+        for u, targets in graph.succ.items():
+            for v, mult in targets.items():
+                remaining[(u, v)] = mult
+        for pair in cut:
+            remaining[pair] -= 1
+        for (u, v), mult in remaining.items():
+            if mult > 0:
+                network.add_edge(u, v, mult)
+        network.vertex(node)
+        assert network.max_flow(SERVER, node) == 0
+
+    def test_failed_node_empty_cut(self, small_net):
+        victim = small_net.matrix.node_ids[3]
+        small_net.fail(victim)
+        assert min_cut(small_net.matrix, victim, small_net.failed) == (0, [])
+
+    def test_unknown_node(self, small_net):
+        assert min_cut(small_net.matrix, 9999) == (0, [])
+
+    def test_local_containment_signature(self, small_net):
+        """After a single failure, every degraded node's shortfall equals
+        its failed-parent count (Theorem 4 locality, certified by cuts)."""
+        victim = small_net.matrix.node_ids[0]
+        small_net.fail(victim)
+        for node in small_net.working_nodes:
+            assert cut_mentions_failed_parents(
+                small_net.matrix, node, small_net.failed
+            )
+
+
+class TestLossMoments:
+    def test_model_moments(self):
+        moments = binomial_loss_moments(4, 0.1)
+        assert moments.mean == pytest.approx(0.1)
+        assert moments.variance == pytest.approx(0.1 * 0.9 / 4)
+        assert moments.std == pytest.approx((0.1 * 0.9 / 4) ** 0.5)
+
+    def test_pmf_sums_to_one(self):
+        pmf = binomial_loss_pmf(5, 0.2)
+        assert len(pmf) == 6
+        assert sum(pmf) == pytest.approx(1.0)
+
+    def test_empirical_matches_model_on_binomial_data(self, rng):
+        d, p = 4, 0.15
+        losses = rng.binomial(d, p, size=30_000)
+        empirical = empirical_loss_moments(list(losses), d)
+        model = binomial_loss_moments(d, p)
+        assert empirical.mean == pytest.approx(model.mean, abs=0.01)
+        assert empirical.variance == pytest.approx(model.variance, rel=0.1)
+
+    def test_required_d_sizing(self):
+        # std(p=0.05, d) = sqrt(0.0475/d); target 0.05 -> d >= 19
+        assert required_d_for_std(0.05, 0.05) == 19
+        assert required_d_for_std(0.05, 1.0) == 1
+        with pytest.raises(ValueError):
+            required_d_for_std(0.5, 0.01, max_d=8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_loss_moments(0, 0.1)
+        with pytest.raises(ValueError):
+            binomial_loss_moments(4, 1.5)
+        with pytest.raises(ValueError):
+            empirical_loss_moments([], 4)
+        with pytest.raises(ValueError):
+            required_d_for_std(0.1, 0.0)
+
+    def test_variance_decays_as_one_over_d(self):
+        """The conjecture's 1/d law, in the model."""
+        values = [binomial_loss_moments(d, 0.1).variance * d for d in (2, 4, 8)]
+        assert max(values) - min(values) < 1e-12

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken one is a broken
+README.  Each runs in-process with its module-level constants shrunk
+where needed for test-suite speed.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """Keep this file honest: new example scripts need a test entry."""
+    covered = {
+        "quickstart.py",
+        "live_streaming.py",
+        "file_download.py",
+        "adversarial_attack.py",
+        "heterogeneous_swarm.py",
+        "self_sustaining_swarm.py",
+        "verified_streaming.py",
+    }
+    assert set(ALL_EXAMPLES) == covered
+
+
+def run_example(name: str, capsys) -> str:
+    """Execute an example as __main__ and return its stdout."""
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "name,needle",
+    [
+        ("quickstart.py", "bit-exact decode at every peer: True"),
+        ("adversarial_attack.py", "random row insertion"),
+        ("heterogeneous_swarm.py", "decodes base layer"),
+        ("self_sustaining_swarm.py", "completion after detach: 100%"),
+        ("verified_streaming.py", "bit-exact: True"),
+    ],
+)
+def test_example_runs(name, needle, capsys):
+    out = run_example(name, capsys)
+    assert needle in out
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name,needle",
+    [
+        ("live_streaming.py", "every completed decode bit-exact: True"),
+        ("file_download.py", "all decodes bit-exact: True"),
+    ],
+)
+def test_slow_example_runs(name, needle, capsys):
+    out = run_example(name, capsys)
+    assert needle in out

@@ -1,0 +1,99 @@
+"""Fuzz tests: hostile inputs must raise cleanly, never corrupt state.
+
+A deployed peer parses frames from untrusted senders and feeds packets
+into its decoder; none of that may crash the process or poison internal
+state with exceptions other than the documented ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import CodedPacket, Decoder, GenerationParams
+from repro.coding.wire import WireFormatError, decode_packet, encode_packet
+from repro.security import HomomorphicHasher, generate_params
+from repro.security.codec import PrimePacket
+
+
+class TestWireFuzz:
+    @settings(max_examples=200)
+    @given(frame=st.binary(min_size=0, max_size=200))
+    def test_random_bytes_never_crash(self, frame):
+        """Arbitrary bytes either parse or raise WireFormatError."""
+        try:
+            packet = decode_packet(frame)
+        except WireFormatError:
+            return
+        # if it parsed, it must re-encode to the same bytes
+        assert encode_packet(packet) == frame
+
+    @settings(max_examples=100)
+    @given(
+        flip=st.integers(min_value=0, max_value=10**6),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_bitflipped_frames_parse_or_raise(self, flip, seed):
+        """Single corrupted bytes in a valid frame never crash the parser."""
+        rng = np.random.default_rng(seed)
+        packet = CodedPacket(
+            generation=int(rng.integers(0, 100)),
+            coefficients=rng.integers(0, 256, size=6, dtype=np.uint8),
+            payload=rng.integers(0, 256, size=20, dtype=np.uint8),
+        )
+        frame = bytearray(encode_packet(packet))
+        frame[flip % len(frame)] ^= 1 + (flip % 255)
+        try:
+            decode_packet(bytes(frame))
+        except WireFormatError:
+            pass
+
+
+class TestDecoderFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        count=st.integers(min_value=1, max_value=40),
+    )
+    def test_arbitrary_packets_never_corrupt_rank(self, seed, count):
+        """Any stream of well-formed packets keeps 0 <= rank <= g and
+        never makes push() raise."""
+        rng = np.random.default_rng(seed)
+        params = GenerationParams(generation_size=5, payload_size=9)
+        decoder = Decoder(params, 2)
+        for _ in range(count):
+            packet = CodedPacket(
+                generation=int(rng.integers(0, 2)),
+                coefficients=rng.integers(0, 256, size=5, dtype=np.uint8),
+                payload=rng.integers(0, 256, size=9, dtype=np.uint8),
+            )
+            decoder.push(packet)
+            assert 0 <= decoder.total_rank <= decoder.total_dof
+
+    def test_mismatched_sizes_rejected(self):
+        params = GenerationParams(generation_size=4, payload_size=8)
+        decoder = Decoder(params, 1)
+        bad = CodedPacket(
+            generation=0,
+            coefficients=np.ones(5, dtype=np.uint8),  # wrong g
+            payload=np.zeros(8, dtype=np.uint8),
+        )
+        with pytest.raises(ValueError):
+            decoder.push(bad)
+
+
+class TestHashFuzz:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_packets_never_verify(self, seed):
+        """Forging a verifying packet by chance must not happen (the
+        demo group is small but still 2^31-sized)."""
+        rng = np.random.default_rng(seed)
+        hasher = HomomorphicHasher(generate_params(4, seed=1))
+        source = rng.integers(0, 2**31 - 1, size=(3, 4))
+        hashes = hasher.hash_generation(source)
+        packet = PrimePacket(
+            coefficients=rng.integers(0, 2**31 - 1, size=3),
+            payload=rng.integers(0, 2**31 - 1, size=4),
+        )
+        assert not hasher.verify(packet, hashes)

@@ -1,0 +1,164 @@
+"""Unit tests for GF(2^8) dense linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.gf import linalg
+from repro.gf.tables import MUL
+
+
+def reference_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Naive triple-loop product for cross-checking."""
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for i in range(a.shape[0]):
+        for j in range(b.shape[1]):
+            acc = 0
+            for l in range(a.shape[1]):
+                acc ^= int(MUL[a[i, l], b[l, j]])
+            out[i, j] = acc
+    return out
+
+
+class TestMatmul:
+    def test_identity(self, rng):
+        a = linalg.random_matrix(5, 5, rng)
+        eye = np.eye(5, dtype=np.uint8)
+        assert np.array_equal(linalg.matmul(a, eye), a)
+        assert np.array_equal(linalg.matmul(eye, a), a)
+
+    def test_matches_reference(self, rng):
+        a = linalg.random_matrix(4, 6, rng)
+        b = linalg.random_matrix(6, 3, rng)
+        assert np.array_equal(linalg.matmul(a, b), reference_matmul(a, b))
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            linalg.matmul(linalg.random_matrix(2, 3, rng), linalg.random_matrix(2, 3, rng))
+
+    def test_associative(self, rng):
+        a = linalg.random_matrix(3, 4, rng)
+        b = linalg.random_matrix(4, 5, rng)
+        c = linalg.random_matrix(5, 2, rng)
+        left = linalg.matmul(linalg.matmul(a, b), c)
+        right = linalg.matmul(a, linalg.matmul(b, c))
+        assert np.array_equal(left, right)
+
+    def test_matvec(self, rng):
+        a = linalg.random_matrix(4, 4, rng)
+        v = rng.integers(0, 256, size=4, dtype=np.uint8)
+        expected = linalg.matmul(a, v[:, None])[:, 0]
+        assert np.array_equal(linalg.matvec(a, v), expected)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            linalg.matmul(np.zeros(3, dtype=np.uint8), np.zeros((3, 3), dtype=np.uint8))
+
+
+class TestRref:
+    def test_identity_unchanged(self):
+        eye = np.eye(4, dtype=np.uint8)
+        reduced, pivots = linalg.rref(eye)
+        assert np.array_equal(reduced, eye)
+        assert pivots == [0, 1, 2, 3]
+
+    def test_zero_matrix(self):
+        reduced, pivots = linalg.rref(np.zeros((3, 3), dtype=np.uint8))
+        assert pivots == []
+        assert not reduced.any()
+
+    def test_pivot_columns_are_unit(self, rng):
+        a = linalg.random_matrix(5, 7, rng)
+        reduced, pivots = linalg.rref(a)
+        for row, col in enumerate(pivots):
+            column = reduced[:, col]
+            assert column[row] == 1
+            assert np.count_nonzero(column) == 1
+
+    def test_row_space_preserved(self, rng):
+        a = linalg.random_matrix(4, 6, rng)
+        reduced, _ = linalg.rref(a)
+        stacked = np.vstack([a, reduced])
+        assert linalg.rank(stacked) == linalg.rank(a)
+
+    def test_ncols_limits_pivot_region(self, rng):
+        a = linalg.random_matrix(3, 6, rng)
+        _, pivots = linalg.rref(a, ncols=2)
+        assert all(p < 2 for p in pivots)
+
+
+class TestRankSolveInverse:
+    def test_rank_of_identity(self):
+        assert linalg.rank(np.eye(6, dtype=np.uint8)) == 6
+
+    def test_rank_of_duplicated_rows(self, rng):
+        row = rng.integers(0, 256, size=5, dtype=np.uint8)
+        a = np.vstack([row, row, row])
+        assert linalg.rank(a) == 1
+
+    def test_rank_empty(self):
+        assert linalg.rank(np.zeros((0, 4), dtype=np.uint8)) == 0
+
+    def test_solve_roundtrip(self, rng):
+        a = linalg.random_full_rank(6, rng)
+        x = rng.integers(0, 256, size=6, dtype=np.uint8)
+        b = linalg.matvec(a, x)
+        assert np.array_equal(linalg.solve(a, b), x)
+
+    def test_solve_matrix_rhs(self, rng):
+        a = linalg.random_full_rank(4, rng)
+        x = linalg.random_matrix(4, 3, rng)
+        b = linalg.matmul(a, x)
+        assert np.array_equal(linalg.solve(a, b), x)
+
+    def test_solve_singular_raises(self):
+        singular = np.zeros((3, 3), dtype=np.uint8)
+        singular[0, 0] = 1
+        with pytest.raises(np.linalg.LinAlgError):
+            linalg.solve(singular, np.ones(3, dtype=np.uint8))
+
+    def test_solve_non_square_raises(self, rng):
+        with pytest.raises(ValueError):
+            linalg.solve(linalg.random_matrix(3, 4, rng), np.ones(3, dtype=np.uint8))
+
+    def test_inverse(self, rng):
+        a = linalg.random_full_rank(5, rng)
+        eye = np.eye(5, dtype=np.uint8)
+        assert np.array_equal(linalg.matmul(a, linalg.inverse(a)), eye)
+        assert np.array_equal(linalg.matmul(linalg.inverse(a), a), eye)
+
+    def test_is_full_rank(self, rng):
+        assert linalg.is_full_rank(linalg.random_full_rank(4, rng))
+        assert not linalg.is_full_rank(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_nullity(self, rng):
+        a = linalg.random_full_rank(4, rng)
+        assert linalg.nullity(a) == 0
+        wide = np.hstack([a, a])
+        assert linalg.nullity(wide) == 4
+
+
+class TestVandermonde:
+    def test_shape_and_first_column(self):
+        v = linalg.vandermonde(6, 4)
+        assert v.shape == (6, 4)
+        assert np.all(v[:, 0] == 1)
+
+    def test_any_square_submatrix_invertible(self, rng):
+        v = linalg.vandermonde(10, 4)
+        for _ in range(20):
+            rows = sorted(rng.choice(10, size=4, replace=False))
+            assert linalg.rank(v[rows, :]) == 4
+
+    def test_too_many_rows_raises(self):
+        with pytest.raises(ValueError):
+            linalg.vandermonde(256, 4)
+
+
+class TestRandomMatrices:
+    def test_random_full_rank_is_full_rank(self, rng):
+        for n in (1, 2, 8):
+            assert linalg.rank(linalg.random_full_rank(n, rng)) == n
+
+    def test_random_matrix_range(self, rng):
+        a = linalg.random_matrix(10, 10, rng)
+        assert a.dtype == np.uint8

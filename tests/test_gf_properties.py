@@ -1,0 +1,103 @@
+"""Property-based tests of the GF(2^8) field axioms and linear algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import field, linalg
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero_elements = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_commutative(self, a, b):
+        assert field.add(a, b) == field.add(b, a)
+
+    @given(elements, elements, elements)
+    def test_addition_associative(self, a, b, c):
+        assert field.add(field.add(a, b), c) == field.add(a, field.add(b, c))
+
+    @given(elements)
+    def test_additive_identity_and_inverse(self, a):
+        assert field.add(a, 0) == a
+        assert field.add(a, a) == 0  # characteristic 2: x is its own negative
+
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        assert field.mul(a, b) == field.mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert field.mul(a, 1) == a
+
+    @given(nonzero_elements)
+    def test_multiplicative_inverse(self, a):
+        assert field.mul(a, field.inv(a)) == 1
+
+    @given(elements, elements, elements)
+    def test_distributivity(self, a, b, c):
+        left = field.mul(a, field.add(b, c))
+        right = field.add(field.mul(a, b), field.mul(a, c))
+        assert left == right
+
+    @given(nonzero_elements, st.integers(min_value=-3, max_value=6),
+           st.integers(min_value=-3, max_value=6))
+    def test_power_laws(self, a, m, n):
+        assert field.power(a, m + n) == field.mul(field.power(a, m), field.power(a, n))
+
+
+def matrices(max_dim=6):
+    """Strategy for small random uint8 matrices."""
+    return st.tuples(
+        st.integers(min_value=1, max_value=max_dim),
+        st.integers(min_value=1, max_value=max_dim),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    ).map(
+        lambda t: np.random.default_rng(t[2]).integers(
+            0, 256, size=(t[0], t[1]), dtype=np.uint8
+        )
+    )
+
+
+class TestLinalgProperties:
+    @settings(max_examples=40)
+    @given(matrices())
+    def test_rref_idempotent(self, a):
+        reduced, pivots = linalg.rref(a)
+        again, pivots2 = linalg.rref(reduced)
+        assert np.array_equal(reduced, again)
+        assert pivots == pivots2
+
+    @settings(max_examples=40)
+    @given(matrices())
+    def test_rank_bounded(self, a):
+        r = linalg.rank(a)
+        assert 0 <= r <= min(a.shape)
+
+    @settings(max_examples=40)
+    @given(matrices())
+    def test_rank_transpose_invariant(self, a):
+        assert linalg.rank(a) == linalg.rank(a.T.copy())
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    def test_solve_inverts_matvec(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = linalg.random_full_rank(n, rng)
+        x = rng.integers(0, 256, size=n, dtype=np.uint8)
+        assert np.array_equal(linalg.solve(a, linalg.matvec(a, x)), x)
+
+    @settings(max_examples=30)
+    @given(matrices(max_dim=5), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_rank_submultiplicative(self, a, seed):
+        rng = np.random.default_rng(seed)
+        b = rng.integers(0, 256, size=(a.shape[1], 4), dtype=np.uint8)
+        product_rank = linalg.rank(linalg.matmul(a, b))
+        assert product_rank <= min(linalg.rank(a), linalg.rank(b))

@@ -1,0 +1,109 @@
+"""Tests for smaller public API surfaces not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.coding import InnovationTracker, innovation_probability
+from repro.analysis import FlowNetwork, expansion_report
+from repro.baselines.edmonds import pack_arborescences
+from repro.core import OverlayNetwork
+from repro.sim import RngStreams
+
+
+class TestInnovationTracker:
+    def test_counts_and_efficiency(self):
+        tracker = InnovationTracker()
+        for outcome in (True, True, False, True):
+            tracker.record(outcome)
+        assert tracker.received == 4
+        assert tracker.innovative == 3
+        assert tracker.efficiency == pytest.approx(0.75)
+
+    def test_empty_efficiency_is_one(self):
+        assert InnovationTracker().efficiency == 1.0
+
+    def test_sampling_history(self):
+        tracker = InnovationTracker()
+        tracker.record(True)
+        tracker.sample(current_rank=1)
+        tracker.record(False)
+        tracker.sample(current_rank=1)
+        assert tracker.history == [(1, 1), (2, 1)]
+
+    def test_matches_analytic_probability(self, rng):
+        """Measured innovation frequency at fixed receiver rank matches
+        1 - q^(rank - g)."""
+        from repro.coding import Decoder, GenerationParams, SourceEncoder
+
+        g = 4
+        params = GenerationParams(generation_size=g, payload_size=4)
+        trials, hits = 0, 0
+        for seed in range(120):
+            local = np.random.default_rng(seed)
+            content = bytes(local.integers(0, 256, size=16, dtype=np.uint8))
+            encoder = SourceEncoder(content, params, local)
+            decoder = Decoder(params, 1)
+            # bring the decoder to rank g-1
+            while decoder.total_rank < g - 1:
+                decoder.push(encoder.emit(0))
+            trials += 1
+            if decoder.push(encoder.emit(0)):
+                hits += 1
+        expected = innovation_probability(g, g - 1)
+        assert hits / trials == pytest.approx(expected, abs=0.03)
+
+
+class TestFlowNetworkIntrospection:
+    def test_vertex_bookkeeping(self):
+        network = FlowNetwork()
+        a = network.vertex("a")
+        assert network.vertex("a") == a  # idempotent
+        assert network.has_vertex("a")
+        assert not network.has_vertex("b")
+        network.add_edge("a", "b", 1)
+        assert network.vertex_count == 2
+        assert network.edge_count == 1
+
+
+class TestEdmondsCandidateLimit:
+    def test_candidate_cap_still_packs(self, rng):
+        net = OverlayNetwork(k=8, d=2, seed=3)
+        net.grow(12)
+        graph = net.graph()
+        trees = pack_arborescences(graph, 2, rng, max_candidate_tries=4)
+        from repro.baselines import verify_packing
+
+        assert verify_packing(graph, trees)
+
+
+class TestExpansionReport:
+    def test_fields(self, small_net):
+        report = expansion_report(small_net.graph())
+        assert report["nodes"] == 40.0
+        assert report["edges"] == 120.0
+        assert 0.0 <= report["spectral_gap"] <= 1.0
+
+
+class TestRngStreamsIndependenceAcrossNames:
+    def test_prefix_names_do_not_collide(self):
+        """'node-1' and 'node-11' must not share a stream (a classic
+        spawn-key bug class)."""
+        streams = RngStreams(9)
+        a = streams.get("node-1").integers(0, 10**9)
+        b = streams.get("node-11").integers(0, 10**9)
+        c = streams.get("node-1 1").integers(0, 10**9)
+        assert len({int(a), int(b), int(c)}) == 3
+
+
+class TestOverlayMiscBranches:
+    def test_defect_summary_explicit_failed_override(self, tiny_net):
+        bottom = tiny_net.matrix.node_ids[-1]
+        summary = tiny_net.defect_summary(samples=None, failed={bottom})
+        assert summary.mean_defect > 0.0
+        # the overlay itself has no failures recorded
+        assert tiny_net.failed == frozenset()
+
+    def test_stats_property_is_live(self, tiny_net):
+        before = tiny_net.stats.hello_grants
+        tiny_net.join()
+        assert tiny_net.stats.hello_grants == before + 1

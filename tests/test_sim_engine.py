@@ -1,0 +1,132 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda s: log.append(("c", s.now)))
+        sim.schedule(1.0, lambda s: log.append(("a", s.now)))
+        sim.schedule(2.0, lambda s: log.append(("b", s.now)))
+        sim.run()
+        assert log == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_same_time_fires_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for name in "abc":
+            sim.schedule(1.0, lambda s, n=name: log.append(n))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda s: log.append("low"), priority=5)
+        sim.schedule(1.0, lambda s: log.append("high"), priority=1)
+        sim.run()
+        assert log == ["high", "low"]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda s: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, lambda s: None)
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda s: s.schedule_after(3.0, lambda s2: times.append(s2.now)))
+        sim.run()
+        assert times == [5.0]
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda s: None)
+
+
+class TestRunControl:
+    def test_run_until_is_inclusive(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda s: log.append(s.now))
+        sim.schedule(5.1, lambda s: log.append(s.now))
+        sim.run(until=5.0)
+        assert log == [5.0]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_cancelled_events_skipped(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, lambda s: log.append("x"))
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_step(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda s: log.append(1))
+        sim.schedule(2.0, lambda s: log.append(2))
+        assert sim.step()
+        assert log == [1]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_event_budget_guards_runaway(self):
+        sim = Simulator()
+
+        def rearm(s):
+            s.schedule_after(0.0, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule(float(t), lambda s: None)
+        sim.run()
+        assert sim.processed == 5
+
+
+class TestPeriodic:
+    def test_every_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(2.0, lambda s: ticks.append(s.now))
+        sim.run(until=9.0)
+        assert ticks == [2.0, 4.0, 6.0, 8.0]
+
+    def test_every_with_start(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(5.0, lambda s: ticks.append(s.now), start=1.0)
+        sim.run(until=12.0)
+        assert ticks == [1.0, 6.0, 11.0]
+
+    def test_stop_function(self):
+        sim = Simulator()
+        ticks = []
+        stop = sim.every(1.0, lambda s: ticks.append(s.now))
+        sim.schedule(3.5, lambda s: stop())
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_zero_interval_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda s: None)

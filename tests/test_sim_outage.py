@@ -1,0 +1,139 @@
+"""Unit tests for the §2 ergodic outage model."""
+
+import numpy as np
+import pytest
+
+from repro.coding import GenerationParams
+from repro.core import OverlayNetwork
+from repro.sim import BroadcastSimulation, OutageModel
+
+
+class TestOutageModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutageModel(onset=1.0)
+        with pytest.raises(ValueError):
+            OutageModel(onset=0.1, recovery=0.0)
+
+    def test_stationary_fraction(self):
+        model = OutageModel(onset=0.1, recovery=0.4)
+        assert model.stationary_outage_fraction == pytest.approx(0.2)
+        assert OutageModel(onset=0.0).stationary_outage_fraction == 0.0
+
+    def test_mean_duration(self):
+        assert OutageModel(onset=0.1, recovery=0.25).mean_duration == 4.0
+
+    def test_advance_statistics(self, rng):
+        model = OutageModel(onset=0.05, recovery=0.2)
+        population = list(range(200))
+        outaged: set[int] = set()
+        samples = []
+        for _ in range(400):
+            model.advance(outaged, population, rng)
+            samples.append(len(outaged))
+        mean_fraction = np.mean(samples[100:]) / 200
+        assert mean_fraction == pytest.approx(
+            model.stationary_outage_fraction, abs=0.06
+        )
+
+    def test_zero_onset_noop(self, rng):
+        model = OutageModel(onset=0.0)
+        outaged: set[int] = set()
+        model.advance(outaged, range(10), rng)
+        assert outaged == set()
+
+
+class TestOutagesInBroadcast:
+    def _run(self, outage=None, seed=7):
+        net = OverlayNetwork(k=12, d=3, seed=seed)
+        net.grow(25)
+        rng = np.random.default_rng(seed + 1)
+        content = bytes(rng.integers(0, 256, size=1500, dtype=np.uint8))
+        sim = BroadcastSimulation(
+            net, content, GenerationParams(8, 75), seed=seed + 2, outage=outage
+        )
+        return sim
+
+    def test_outages_slow_but_do_not_corrupt(self):
+        clean = self._run()
+        flaky = self._run(outage=OutageModel(onset=0.05, recovery=0.3))
+        clean_report = clean.run_until_complete(max_slots=1500)
+        flaky_report = flaky.run_until_complete(max_slots=1500)
+        assert flaky_report.completion_fraction == 1.0
+        assert all(n.decoded_ok for n in flaky_report.nodes)
+        assert max(flaky_report.completion_slots()) >= max(
+            clean_report.completion_slots()
+        )
+
+    def test_outaged_nodes_do_not_receive(self):
+        sim = self._run(outage=OutageModel(onset=0.9, recovery=0.01))
+        sim.run(5)
+        # with near-total outage, almost nothing gets delivered
+        delivered = sum(sim._received.values())
+        clean = self._run()
+        clean.run(5)
+        assert delivered < sum(clean._received.values())
+
+    def test_no_repairs_triggered_by_outages(self):
+        """Ergodic failures never touch the matrix: no rows removed."""
+        sim = self._run(outage=OutageModel(onset=0.1, recovery=0.2))
+        before = sim.net.population
+        sim.run(40)
+        assert sim.net.population == before
+        assert sim.net.failed == frozenset()
+
+    def test_outage_state_recovers(self):
+        sim = self._run(outage=OutageModel(onset=0.2, recovery=0.9))
+        sim.run(60)
+        # high recovery: the outaged set stays small
+        assert len(sim.outaged) <= 10
+
+
+class TestMetricsExport:
+    def test_csv_roundtrip(self, tmp_path):
+        from repro.metrics import save_table, to_csv
+
+        headers = ["a", "b"]
+        rows = [[1, 2.5], ["x", None]]
+        text = to_csv(headers, rows)
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[2] == "x,"
+        path = tmp_path / "t.csv"
+        save_table(path, headers, rows)
+        assert path.read_text() == text
+
+    def test_json_structure(self, tmp_path):
+        import json
+
+        from repro.metrics import save_table
+
+        path = tmp_path / "t.json"
+        save_table(path, ["n", "v"], [[1, 0.5], [2, 0.7]])
+        data = json.loads(path.read_text())
+        assert data == [{"n": 1, "v": 0.5}, {"n": 2, "v": 0.7}]
+
+    def test_bad_suffix_raises(self, tmp_path):
+        from repro.metrics import save_table
+
+        with pytest.raises(ValueError):
+            save_table(tmp_path / "t.xlsx", ["a"], [[1]])
+
+    def test_width_mismatch_raises(self):
+        from repro.metrics import to_csv, to_json
+
+        with pytest.raises(ValueError):
+            to_csv(["a"], [[1, 2]])
+        with pytest.raises(ValueError):
+            to_json(["a"], [[1, 2]])
+
+
+class TestProtocolInsertMode:
+    def test_uniform_mode_deployment(self):
+        from repro.protocol_sim import ProtocolConfig, ProtocolSimulation
+
+        sim = ProtocolSimulation(
+            ProtocolConfig(k=10, d=2, seed=4, insert_mode="uniform")
+        )
+        sim.grow(25, settle=4.0)
+        assert sim.core.insert_mode == "uniform"
+        assert sim.consistency_check()

@@ -1,0 +1,140 @@
+"""Stateful property tests: hypothesis drives the whole protocol surface.
+
+The state machine issues arbitrary interleavings of hello / good-bye /
+fail / complain / repair / congestion operations against a live server
+and, after every step, checks the system-wide invariants the paper's
+analysis depends on:
+
+* matrix internal consistency (chains sorted, rows/columns mutually
+  consistent, exactly k hanging threads);
+* registry/matrix agreement;
+* every *working* node that is not failure-affected has in-degree equal
+  to its current thread count;
+* the overlay stays acyclic (the §6 invariant);
+* repairs leave no trace of the victim.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import CoordinationServer
+from repro.core.topology import build_overlay_graph
+
+K, D = 8, 2
+
+
+class ProtocolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.rng = np.random.default_rng(0xC0FFEE)
+        self.server = CoordinationServer(K, D, self.rng)
+
+    # ------------------------------------------------------------------
+    # Rules
+
+    @rule(degree=st.sampled_from([0, 0, 0, 3]))  # mostly default d
+    def hello(self, degree):
+        if self.server.population >= 60:
+            return  # keep instances small
+        self.server.hello(degree or None)
+
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def goodbye(self, pick):
+        working = self.server.working_nodes
+        if not working:
+            return
+        self.server.goodbye(working[pick % len(working)])
+
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def fail(self, pick):
+        working = self.server.working_nodes
+        if not working:
+            return
+        self.server.fail(working[pick % len(working)])
+
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def repair_one(self, pick):
+        failed = sorted(self.server.failed)
+        if not failed:
+            return
+        self.server.repair(failed[pick % len(failed)])
+
+    @rule()
+    def repair_all(self):
+        self.server.repair_all()
+
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def complain(self, pick):
+        working = self.server.working_nodes
+        if not working:
+            return
+        reporter = working[pick % len(working)]
+        columns = sorted(self.server.matrix.columns_of(reporter))
+        self.server.complain(reporter, columns[pick % len(columns)])
+
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def congestion_drop(self, pick):
+        working = self.server.working_nodes
+        candidates = [
+            n for n in working if self.server.matrix.row(n).degree > 1
+        ]
+        if not candidates:
+            return
+        self.server.congestion_drop(candidates[pick % len(candidates)])
+
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def congestion_restore(self, pick):
+        candidates = [
+            n for n in self.server.working_nodes
+            if self.server.matrix.row(n).degree < K
+        ]
+        if not candidates:
+            return
+        self.server.congestion_restore(candidates[pick % len(candidates)])
+
+    # ------------------------------------------------------------------
+    # Invariants
+
+    @invariant()
+    def matrix_is_consistent(self):
+        self.server.matrix.check_invariants()
+
+    @invariant()
+    def registry_matches_matrix(self):
+        assert set(self.server.registry) == set(self.server.matrix.node_ids)
+        assert self.server.failed <= set(self.server.registry)
+
+    @invariant()
+    def hanging_pool_always_k(self):
+        assert len(self.server.matrix.hanging_owners()) == K
+
+    @invariant()
+    def overlay_stays_acyclic(self):
+        graph = build_overlay_graph(self.server.matrix)
+        assert graph.is_acyclic()
+
+    @invariant()
+    def in_degree_equals_threads(self):
+        graph = build_overlay_graph(self.server.matrix, self.server.failed)
+        failed = self.server.failed
+        matrix = self.server.matrix
+        for node in graph.nodes:
+            degree = matrix.row(node).degree
+            dead = sum(
+                1 for parent in matrix.parents_of(node).values()
+                if parent != -1 and parent in failed
+            )
+            assert graph.in_degree(node) == degree - dead
+
+
+ProtocolMachineTest = ProtocolMachine.TestCase
+ProtocolMachineTest.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,60 @@
+"""Unit tests for the closed-form Theorem 4/5 predictions."""
+
+import math
+
+import pytest
+
+from repro.theory import (
+    collapse_exponent,
+    collapse_probability_bound,
+    expected_bandwidth_loss_fraction,
+    lemma6_max_jump_fraction,
+    theorem4_prediction,
+    unicast_capacity,
+)
+
+
+class TestTheorem4Prediction:
+    def test_zero_p(self):
+        prediction = theorem4_prediction(64, 2, 0.0)
+        assert prediction.naive == 0.0
+        assert prediction.attractor == 0.0
+        assert prediction.with_epsilon == 0.0
+
+    def test_ordering(self):
+        prediction = theorem4_prediction(64, 2, 0.01)
+        assert prediction.naive == pytest.approx(0.02)
+        assert prediction.attractor > prediction.naive
+        assert prediction.with_epsilon > prediction.naive
+
+    def test_attractor_shrinks_with_k(self):
+        tight = theorem4_prediction(256, 2, 0.01).attractor
+        loose = theorem4_prediction(16, 2, 0.01).attractor
+        assert tight < loose
+
+
+class TestScalingHelpers:
+    def test_collapse_exponent(self):
+        assert collapse_exponent(64, 2) == pytest.approx(8.0)
+        assert collapse_exponent(27, 3) == pytest.approx(1.0)
+
+    def test_collapse_probability_monotone_in_steps(self):
+        a = collapse_probability_bound(10, 32, 2, xi1=1.0, xi2=1.0)
+        b = collapse_probability_bound(100, 32, 2, xi1=1.0, xi2=1.0)
+        assert a <= b <= 1.0
+
+    def test_collapse_probability_decays_with_k(self):
+        small_k = collapse_probability_bound(1000, 16, 2, xi1=1.0, xi2=1.0)
+        large_k = collapse_probability_bound(1000, 64, 2, xi1=1.0, xi2=1.0)
+        assert large_k < small_k
+
+    def test_lemma6_fraction(self):
+        assert lemma6_max_jump_fraction(64, 2) == pytest.approx(4 / 64)
+
+    def test_unicast_capacity(self):
+        assert unicast_capacity(64, 2) == 32
+        assert unicast_capacity(10, 3) == 3
+
+    def test_expected_loss_fraction_is_p(self):
+        """§7: the expected fraction of bandwidth lost ≈ p for all d."""
+        assert expected_bandwidth_loss_fraction(0.03) == 0.03

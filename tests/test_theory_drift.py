@@ -1,0 +1,130 @@
+"""Unit tests for the drift function f(b) and its roots."""
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    DriftParameters,
+    defect_drop_interval,
+    drift,
+    drift_minimum,
+    drift_roots,
+    paper_a1_epsilon_bound,
+    paper_a1_estimate,
+    paper_a2_estimate,
+)
+
+PARAMS = DriftParameters(k=64, d=2, p=0.01)
+
+
+class TestParameters:
+    def test_valid(self):
+        DriftParameters(k=32, d=2, p=0.0)
+
+    def test_d_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            DriftParameters(k=32, d=1, p=0.01)
+
+    def test_k_must_exceed_d_squared(self):
+        with pytest.raises(ValueError):
+            DriftParameters(k=4, d=2, p=0.01)
+
+    def test_p_range(self):
+        with pytest.raises(ValueError):
+            DriftParameters(k=32, d=2, p=1.0)
+        with pytest.raises(ValueError):
+            DriftParameters(k=32, d=2, p=-0.1)
+
+
+class TestDriftFunction:
+    def test_value_at_zero_is_positive(self):
+        """f(0) = p d²/k > 0: failures push the defect up from zero."""
+        assert drift(PARAMS, 0.0) == pytest.approx(0.01 * 4 / 64)
+
+    def test_negative_in_the_middle(self):
+        """For small pd, the defect contracts near b = 1/2 (Lemma 7)."""
+        assert drift(PARAMS, 0.5) < 0.0
+
+    def test_positive_near_one(self):
+        """Near total defect the system drifts to collapse."""
+        assert drift(PARAMS, 1.0) > 0.0
+
+    def test_vectorised(self):
+        values = drift(PARAMS, np.array([0.0, 0.5, 1.0]))
+        assert values.shape == (3,)
+        assert values[0] > 0 > values[1]
+
+    def test_zero_p_drift_nonpositive_below_tipping(self):
+        """With no failures the defect contracts everywhere below the
+        tipping region b* = ((k-d²)/k)^(d/(d-1))."""
+        params = DriftParameters(k=64, d=2, p=0.0)
+        tipping = ((64 - 4) / 64) ** 2.0
+        bs = np.linspace(0.0, 0.98 * tipping, 50)
+        assert np.all(drift(params, bs) <= 1e-12)
+
+
+class TestMinimumAndRoots:
+    def test_minimum_near_half(self):
+        minimiser, minimum = drift_minimum(PARAMS)
+        assert 0.3 < minimiser < 0.7
+        assert minimum < 0.0
+
+    def test_minimum_below_paper_bound(self):
+        """The paper asserts min f < -d/(8k); the constant is approximate
+        (at finite k the true minimum is within a factor ~2 of it)."""
+        _, minimum = drift_minimum(PARAMS)
+        assert minimum < -PARAMS.d / (16.0 * PARAMS.k)
+
+    def test_roots_bracket_minimum(self):
+        a1, a2 = drift_roots(PARAMS)
+        minimiser, _ = drift_minimum(PARAMS)
+        assert 0.0 < a1 < minimiser < a2 < 1.0
+
+    def test_roots_are_roots(self):
+        a1, a2 = drift_roots(PARAMS)
+        assert drift(PARAMS, a1) == pytest.approx(0.0, abs=1e-12)
+        assert drift(PARAMS, a2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_a1_close_to_paper_estimate(self):
+        a1, _ = drift_roots(PARAMS)
+        leading = paper_a1_estimate(PARAMS)
+        epsilon = paper_a1_epsilon_bound(PARAMS)
+        assert leading <= a1 <= leading * (1 + epsilon) * 1.05
+
+    def test_a2_close_to_paper_estimate(self):
+        _, a2 = drift_roots(PARAMS)
+        estimate = paper_a2_estimate(PARAMS)
+        assert abs(a2 - estimate) < 0.25
+
+    def test_a1_scales_linearly_with_p(self):
+        roots = []
+        for p in (0.005, 0.01, 0.02):
+            a1, _ = drift_roots(DriftParameters(k=64, d=2, p=p))
+            roots.append(a1)
+        assert roots[1] / roots[0] == pytest.approx(2.0, rel=0.2)
+        assert roots[2] / roots[1] == pytest.approx(2.0, rel=0.2)
+
+    def test_no_roots_when_pd_too_large(self):
+        with pytest.raises(ValueError):
+            drift_roots(DriftParameters(k=16, d=2, p=0.45))
+
+
+class TestDropInterval:
+    def test_interval_inside_roots(self):
+        c1 = 0.1 * PARAMS.d / PARAMS.k
+        b1, b2 = defect_drop_interval(PARAMS, c1)
+        a1, a2 = drift_roots(PARAMS)
+        assert a1 < b1 < b2 < a2
+
+    def test_interval_widens_with_smaller_c1(self):
+        small = defect_drop_interval(PARAMS, 0.005 * PARAMS.d / PARAMS.k)
+        large = defect_drop_interval(PARAMS, 0.05 * PARAMS.d / PARAMS.k)
+        assert small[0] < large[0] and small[1] > large[1]
+
+    def test_too_deep_c1_raises(self):
+        with pytest.raises(ValueError):
+            defect_drop_interval(PARAMS, 1.0)
+
+    def test_invalid_c1_raises(self):
+        with pytest.raises(ValueError):
+            defect_drop_interval(PARAMS, 0.0)
