@@ -1,0 +1,294 @@
+"""Microbenchmark harness for the RLNC hot paths.
+
+Measures the three loops every experiment spends its time in and writes a
+JSON perf snapshot so the trajectory across PRs is diffable:
+
+* **decode** — progressive Gaussian-elimination throughput (packets/s)
+  at generation sizes 16/32/64, against an inline re-implementation of
+  the pre-kernel ("seed") decoder so the speedup is measured on the same
+  machine under the same load;
+* **recode** — random-mixture emit rate of a full-rank buffer, again
+  vs the seed mixing code;
+* **slot_loop** — wall clock of an E7-style `BroadcastSimulation` run
+  (the paper's throughput experiment geometry).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/microbench.py            # full run
+    PYTHONPATH=src python benchmarks/microbench.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/microbench.py --out path.json
+
+Output schema (stable across PRs — subsequent PRs write
+``BENCH_PR<k>.json`` next to this one)::
+
+    {bench_name: {metric: value}}
+
+where every value is a number.  Seed-implementation numbers carry a
+``_baseline`` suffix; ``speedup_*`` metrics are current/baseline ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.coding.decoder import Decoder
+from repro.coding.encoder import SourceEncoder
+from repro.coding.generation import GenerationParams
+from repro.core.overlay import OverlayNetwork
+from repro.gf.tables import FIELD_SIZE, INV, MUL
+from repro.sim.broadcast import BroadcastSimulation
+from repro.sim.links import LossModel
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR1.json"
+
+DECODE_GENERATION_SIZES = (16, 32, 64)
+
+
+# ----------------------------------------------------------------------
+# Seed reference implementation
+#
+# A faithful inline copy of the decoder as it existed before the
+# vectorised kernel layer (per-column Python reduction loop, scalar
+# pivot search, per-row back-substitution, fancy-indexed mixing).  It is
+# re-measured on every run so the ``*_baseline`` numbers reflect this
+# machine and load, not a stale constant.
+
+
+def _seed_addmul_row(dest: np.ndarray, src: np.ndarray, scalar: int) -> None:
+    if scalar == 0:
+        return
+    if scalar == 1:
+        np.bitwise_xor(dest, src, out=dest)
+    else:
+        np.bitwise_xor(dest, MUL[scalar, src], out=dest)
+
+
+class SeedGenerationDecoder:
+    """The pre-kernel progressive decoder, kept verbatim for baselines."""
+
+    def __init__(self, generation_size: int, payload_size: int) -> None:
+        self.size = generation_size
+        width = generation_size + payload_size
+        self._rows = np.zeros((generation_size, width), dtype=np.uint8)
+        self._row_of_pivot: dict[int, int] = {}
+        self.rank = 0
+
+    @property
+    def is_complete(self) -> bool:
+        return self.rank == self.size
+
+    def push(self, packet) -> bool:
+        if self.is_complete:
+            return False
+        row = np.concatenate([packet.coefficients, packet.payload]).astype(np.uint8)
+        for col in range(self.size):
+            value = int(row[col])
+            if value == 0:
+                continue
+            basis_row = self._row_of_pivot.get(col)
+            if basis_row is None:
+                continue
+            _seed_addmul_row(row, self._rows[basis_row], value)
+        pivot = -1
+        for col in range(self.size):
+            if row[col]:
+                pivot = col
+                break
+        if pivot < 0:
+            return False
+        pivot_value = int(row[pivot])
+        if pivot_value != 1:
+            row = MUL[int(INV[pivot_value]), row]
+        slot = self.rank
+        self._rows[slot] = row
+        self._row_of_pivot[pivot] = slot
+        self.rank += 1
+        for other in range(slot):
+            value = int(self._rows[other][pivot])
+            if value:
+                _seed_addmul_row(self._rows[other], row, value)
+        return True
+
+    def random_combination(self, rng: np.random.Generator) -> np.ndarray:
+        scalars = rng.integers(1, FIELD_SIZE, size=self.rank, dtype=np.uint8)
+        mixed = MUL[scalars[:, None], self._rows[: self.rank]]
+        combined = np.bitwise_xor.reduce(mixed, axis=0)
+        return combined[: self.size].copy(), combined[self.size :].copy()
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+
+
+def _timed_reps(fn, budget_s: float, min_reps: int = 3) -> tuple[int, float]:
+    """Run ``fn`` repeatedly for ~``budget_s`` seconds; (reps, elapsed)."""
+    fn()  # warm caches, allocate scratch
+    reps = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        reps += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= budget_s and reps >= min_reps:
+            return reps, elapsed
+
+
+def _coded_stream(generation_size: int, payload_size: int, extra: int = 8):
+    """A fixed seeded packet stream that completes one generation."""
+    params = GenerationParams(generation_size, payload_size)
+    rng = np.random.default_rng(4096 + generation_size)
+    content = bytes(
+        rng.integers(0, 256, size=generation_size * payload_size, dtype=np.uint8)
+    )
+    encoder = SourceEncoder(content, params, np.random.default_rng(7))
+    return params, [encoder.emit() for _ in range(generation_size + extra)]
+
+
+# ----------------------------------------------------------------------
+# Benches
+
+
+def bench_decode(budget_s: float, payload_size: int) -> dict[str, float]:
+    """Progressive decode throughput, current vs seed, per generation size."""
+    metrics: dict[str, float] = {}
+    for size in DECODE_GENERATION_SIZES:
+        params, packets = _coded_stream(size, payload_size)
+
+        def run_current() -> None:
+            decoder = Decoder(params, 1)
+            for packet in packets:
+                decoder.push(packet)
+                if decoder.is_complete:
+                    break
+            assert decoder.is_complete
+
+        def run_seed() -> None:
+            decoder = SeedGenerationDecoder(size, payload_size)
+            for packet in packets:
+                decoder.push(packet)
+                if decoder.is_complete:
+                    break
+            assert decoder.is_complete
+
+        reps, elapsed = _timed_reps(run_current, budget_s)
+        metrics[f"packets_per_s_g{size}"] = reps * size / elapsed
+        reps, elapsed = _timed_reps(run_seed, budget_s)
+        metrics[f"packets_per_s_g{size}_baseline"] = reps * size / elapsed
+        metrics[f"speedup_g{size}"] = (
+            metrics[f"packets_per_s_g{size}"]
+            / metrics[f"packets_per_s_g{size}_baseline"]
+        )
+    return metrics
+
+
+def bench_recode(budget_s: float, payload_size: int,
+                 generation_size: int = 32, emits_per_rep: int = 64) -> dict[str, float]:
+    """Random-mixture emit rate of a full-rank buffer, current vs seed."""
+    params, packets = _coded_stream(generation_size, payload_size)
+    current = Decoder(params, 1)
+    seed = SeedGenerationDecoder(generation_size, payload_size)
+    for packet in packets:
+        current.push(packet)
+        seed.push(packet)
+    assert current.is_complete and seed.is_complete
+    gen_decoder = current.generations[0]
+
+    rng_current = np.random.default_rng(11)
+    rng_seed = np.random.default_rng(11)
+
+    def run_current() -> None:
+        for _ in range(emits_per_rep):
+            gen_decoder.random_combination(rng_current)
+
+    def run_seed() -> None:
+        for _ in range(emits_per_rep):
+            seed.random_combination(rng_seed)
+
+    metrics: dict[str, float] = {}
+    reps, elapsed = _timed_reps(run_current, budget_s)
+    metrics["emits_per_s"] = reps * emits_per_rep / elapsed
+    reps, elapsed = _timed_reps(run_seed, budget_s)
+    metrics["emits_per_s_baseline"] = reps * emits_per_rep / elapsed
+    metrics["speedup"] = metrics["emits_per_s"] / metrics["emits_per_s_baseline"]
+    return metrics
+
+
+def bench_slot_loop(quick: bool) -> dict[str, float]:
+    """E7-style broadcast run: k=16, d=2, N=64 peers, 5% loss."""
+    k, d, n = (8, 2, 16) if quick else (16, 2, 64)
+    generation_size, payload_size = (8, 64) if quick else (16, 64)
+    net = OverlayNetwork(k=k, d=d, seed=303)
+    net.grow(n)
+    rng = np.random.default_rng(303)
+    content = bytes(
+        rng.integers(0, 256, size=generation_size * payload_size, dtype=np.uint8)
+    )
+    sim = BroadcastSimulation(
+        net,
+        content,
+        GenerationParams(generation_size, payload_size),
+        seed=303,
+        loss=LossModel(0.05),
+    )
+    budget = 200 if quick else 600
+    start = time.perf_counter()
+    report = sim.run_until_complete(max_slots=budget)
+    elapsed = time.perf_counter() - start
+    return {
+        "wall_clock_s": elapsed,
+        "slots": float(report.slots),
+        "slots_per_s": report.slots / elapsed if elapsed else 0.0,
+        "completion_fraction": report.completion_fraction,
+    }
+
+
+# ----------------------------------------------------------------------
+
+
+def run(quick: bool) -> dict[str, dict[str, float]]:
+    budget_s = 0.05 if quick else 1.5
+    payload_size = 128 if quick else 1024
+    return {
+        "decode": bench_decode(budget_s, payload_size),
+        "recode": bench_recode(budget_s, payload_size),
+        "slot_loop": bench_slot_loop(quick),
+    }
+
+
+def validate_schema(results: dict) -> None:
+    """Assert the stable ``{bench_name: {metric: number}}`` shape."""
+    assert isinstance(results, dict) and results
+    for bench_name, metrics in results.items():
+        assert isinstance(bench_name, str)
+        assert isinstance(metrics, dict) and metrics, bench_name
+        for metric, value in metrics.items():
+            assert isinstance(metric, str), (bench_name, metric)
+            assert isinstance(value, (int, float)), (bench_name, metric, value)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sizes/budgets for CI smoke runs")
+    args = parser.parse_args()
+
+    results = run(quick=args.quick)
+    validate_schema(results)
+    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {args.out}")
+    for bench_name, metrics in sorted(results.items()):
+        for metric, value in sorted(metrics.items()):
+            print(f"  {bench_name}.{metric}: {value:,.1f}")
+
+
+if __name__ == "__main__":
+    main()

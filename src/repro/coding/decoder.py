@@ -6,6 +6,16 @@ Each arriving packet is reduced against the current basis; *innovative*
 packets (those that increase rank) are inserted, everything else is
 discarded.  When the rank reaches the generation size the original block
 is recovered directly from the RREF.
+
+Every inner loop routes through the batched kernels in
+:mod:`repro.gf.kernels`: a packet is reduced with one gather + one table
+lookup + one XOR reduction (:func:`~repro.gf.kernels.eliminate`), pivots
+are found with ``np.nonzero``, back-substitution after an insertion is a
+single :func:`~repro.gf.kernels.addmul_rows` call, and
+:meth:`GenerationDecoder.random_combination` mixes the basis into a
+preallocated output buffer.  A per-decoder scratch
+:class:`~repro.gf.kernels.Workspace` makes the steady state allocation
+free; see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -14,9 +24,9 @@ from typing import Optional
 
 import numpy as np
 
-from ..gf.field import addmul_row
-from ..gf.tables import INV, MUL
-from .generation import GenerationParams
+from ..gf.kernels import Workspace, addmul_rows, eliminate, mix_rows
+from ..gf.tables import FIELD_SIZE, INV, MUL
+from .generation import GenerationParams, join_content
 from .packet import CodedPacket, SourceBlock
 
 
@@ -28,10 +38,13 @@ class GenerationDecoder:
         self.params = params
         size = params.generation_size
         width = size + params.payload_size
-        # Row i, when present, has its pivot at column pivot_cols[i].
+        # Row i, when present, has its pivot at column _pivot_cols[i].
         self._rows = np.zeros((size, width), dtype=np.uint8)
-        self._pivot_of_row: list[Optional[int]] = [None] * size
+        self._pivot_cols = np.zeros(size, dtype=np.intp)
         self._row_of_pivot: dict[int, int] = {}
+        self._scratch_row = np.empty(width, dtype=np.uint8)
+        self._mix_out = np.empty(width, dtype=np.uint8)
+        self._workspace = Workspace()
         self.rank = 0
         self.received = 0
         self.innovative = 0
@@ -41,21 +54,30 @@ class GenerationDecoder:
         """True once the generation can be fully decoded."""
         return self.rank == self.params.generation_size
 
-    def _reduce(self, coefficients: np.ndarray, payload: np.ndarray) -> np.ndarray:
-        """Reduce a packet against the current basis; returns the full row."""
-        row = np.concatenate([coefficients, payload]).astype(np.uint8)
+    @property
+    def _pivot_of_row(self) -> list[Optional[int]]:
+        """Pivot column of each row slot (None when empty) — diagnostics."""
         size = self.params.generation_size
+        pivots: list[Optional[int]] = [None] * size
+        for i in range(self.rank):
+            pivots[i] = int(self._pivot_cols[i])
+        return pivots
+
+    def _reduce(self, coefficients: np.ndarray, payload: np.ndarray) -> np.ndarray:
+        """Reduce a packet against the current basis; returns the full row.
+
+        The returned array is the decoder's scratch row — valid until the
+        next ``_reduce`` call; ``push`` copies it on insertion.
+        """
+        size = self.params.generation_size
+        row = self._scratch_row
+        row[:size] = coefficients
+        row[size:] = payload
         # Basis rows are zero at every pivot column but their own, so one
-        # increasing pass fully clears the row at all existing pivots; the
+        # batched pass fully clears the row at all existing pivots; the
         # first remaining nonzero (if any) is a brand-new pivot.
-        for col in range(size):
-            value = int(row[col])
-            if value == 0:
-                continue
-            basis_row = self._row_of_pivot.get(col)
-            if basis_row is None:
-                continue  # candidate new pivot; keep clearing later pivots
-            addmul_row(row, self._rows[basis_row], value)
+        eliminate(row, self._rows[: self.rank], self._pivot_cols[: self.rank],
+                  workspace=self._workspace)
         return row
 
     def push(self, packet: CodedPacket) -> bool:
@@ -67,29 +89,27 @@ class GenerationDecoder:
             return False
         row = self._reduce(packet.coefficients, packet.payload)
         size = self.params.generation_size
-        pivot = -1
-        for col in range(size):
-            if row[col]:
-                pivot = col
-                break
-        if pivot < 0:
+        nonzero = np.nonzero(row[:size])[0]
+        if nonzero.size == 0:
             return False  # non-innovative
-        # Normalise the pivot to 1.
+        pivot = int(nonzero[0])
+        slot = self.rank
+        # Normalise the pivot to 1, writing straight into the basis slot.
         pivot_value = int(row[pivot])
         if pivot_value != 1:
-            inv = int(INV[pivot_value])
-            row = MUL[inv, row]
-        slot = self.rank
-        self._rows[slot] = row
-        self._pivot_of_row[slot] = pivot
+            np.take(MUL[int(INV[pivot_value])], row, out=self._rows[slot])
+        else:
+            self._rows[slot] = row
+        self._pivot_cols[slot] = pivot
         self._row_of_pivot[pivot] = slot
         self.rank += 1
         self.innovative += 1
-        # Back-substitute: clear column `pivot` from existing rows.
-        for other in range(slot):
-            value = int(self._rows[other][pivot])
-            if value:
-                addmul_row(self._rows[other], row, value)
+        # Back-substitute: clear column `pivot` from existing rows in one
+        # batched kernel call.
+        if slot:
+            addmul_rows(self._rows[:slot], self._rows[slot],
+                        self._rows[:slot, pivot].copy(),
+                        workspace=self._workspace)
         return True
 
     def decoded_block(self) -> SourceBlock:
@@ -101,27 +121,23 @@ class GenerationDecoder:
             )
         size = self.params.generation_size
         data = np.zeros((size, self.params.payload_size), dtype=np.uint8)
-        for row_index in range(size):
-            pivot = self._pivot_of_row[row_index]
-            assert pivot is not None
-            data[pivot] = self._rows[row_index][size:]
+        # The RREF rows are a permutation of the identity: one vectorised
+        # scatter puts row i's payload at its pivot position.
+        data[self._pivot_cols[:size]] = self._rows[:, size:]
         return SourceBlock(generation=self.generation, data=data)
 
     def random_combination(self, rng: np.random.Generator) -> Optional[CodedPacket]:
         """Fresh uniform random mixture of the current basis (fast path).
 
-        Computes the combination in one vectorised pass over the stored
-        RREF rows, avoiding per-row packet materialisation.  Returns None
-        when the basis is empty.
+        Computes the combination with one batched kernel call into a
+        preallocated buffer — no per-row packet materialisation and no
+        intermediate temporaries.  Returns None when the basis is empty.
         """
         if self.rank == 0:
             return None
-        from ..gf.tables import FIELD_SIZE
-
         scalars = rng.integers(1, FIELD_SIZE, size=self.rank, dtype=np.uint8)
-        rows = self._rows[: self.rank]
-        mixed = MUL[scalars[:, None], rows]
-        combined = np.bitwise_xor.reduce(mixed, axis=0)
+        combined = mix_rows(scalars, self._rows[: self.rank],
+                            out=self._mix_out, workspace=self._workspace)
         size = self.params.generation_size
         return CodedPacket(
             generation=self.generation,
@@ -129,20 +145,25 @@ class GenerationDecoder:
             payload=combined[size:].copy(),
         )
 
+    def basis_packet(self, index: int) -> CodedPacket:
+        """One buffered basis row as a packet (no full-list materialisation)."""
+        if not 0 <= index < self.rank:
+            raise IndexError(f"basis row {index} out of range (rank {self.rank})")
+        size = self.params.generation_size
+        row = self._rows[index]
+        return CodedPacket(
+            generation=self.generation,
+            coefficients=row[:size].copy(),
+            payload=row[size:].copy(),
+        )
+
     def basis_packets(self) -> list[CodedPacket]:
         """Current basis as packets (used by recoders sharing the buffer)."""
-        size = self.params.generation_size
-        packets = []
-        for row_index in range(self.rank):
-            row = self._rows[row_index]
-            packets.append(
-                CodedPacket(
-                    generation=self.generation,
-                    coefficients=row[:size].copy(),
-                    payload=row[size:].copy(),
-                )
-            )
-        return packets
+        return [self.basis_packet(index) for index in range(self.rank)]
+
+    def coefficient_rows(self) -> np.ndarray:
+        """Read-only view of the basis coefficient rows (rank x size)."""
+        return self._rows[: self.rank, : self.params.generation_size]
 
 
 class Decoder:
@@ -181,7 +202,5 @@ class Decoder:
 
     def recover(self, content_length: int) -> bytes:
         """Reassemble the original content bytes; requires completeness."""
-        from .generation import join_content
-
         blocks = [g.decoded_block() for g in self.generations]
         return join_content(blocks, content_length)

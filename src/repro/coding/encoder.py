@@ -12,6 +12,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from ..gf.kernels import Workspace, mix_rows
 from ..gf.tables import FIELD_SIZE
 from .generation import GenerationParams, split_content
 from .packet import CodedPacket, SourceBlock
@@ -41,6 +42,7 @@ class SourceEncoder:
         self._rng = rng
         self._systematic_first = systematic_first
         self._systematic_cursor = {block.generation: 0 for block in self.blocks}
+        self._workspace = Workspace()
 
     @property
     def generation_count(self) -> int:
@@ -70,11 +72,8 @@ class SourceEncoder:
         if not coefficients.any():
             # A zero vector carries nothing; force one nonzero entry.
             coefficients[int(self._rng.integers(0, block.generation_size))] = 1
-        payload = np.zeros(block.payload_size, dtype=np.uint8)
-        from ..gf.field import addmul_row
-
-        for index in np.nonzero(coefficients)[0]:
-            addmul_row(payload, block.data[index], int(coefficients[index]))
+        # One batched mixture over the whole block — no per-source-row loop.
+        payload = mix_rows(coefficients, block.data, workspace=self._workspace)
         return CodedPacket(
             generation=generation, coefficients=coefficients, payload=payload, origin=-1
         )

@@ -16,10 +16,9 @@ from typing import Optional
 
 import numpy as np
 
-from ..gf.tables import FIELD_SIZE
 from .decoder import Decoder, GenerationDecoder
 from .generation import GenerationParams
-from .packet import CodedPacket, combine
+from .packet import CodedPacket
 
 
 class Recoder:
@@ -98,10 +97,12 @@ class Recoder:
             generation = self._pick_generation()
             if generation is None:
                 return None
-        basis = self.decoder.generations[generation].basis_packets()
-        if not basis:
+        decoder = self.decoder.generations[generation]
+        if decoder.rank == 0:
             return None
-        packet = basis[0].copy()  # deterministic replay: maximally unhelpful
+        # Deterministic replay of row 0: maximally unhelpful.  Copies just
+        # the one row instead of materialising the whole basis as packets.
+        packet = decoder.basis_packet(0)
         packet.origin = self.node_id
         return packet
 

@@ -67,6 +67,11 @@ class ThreadMatrix:
         # Per-column key-sorted occupancy: parallel (keys, ids) lists.
         self._col_keys: list[list[float]] = [[] for _ in range(k)]
         self._col_ids: list[list[int]] = [[] for _ in range(k)]
+        #: Monotone counter bumped by every structural mutation (join,
+        #: leave, drop_thread, add_thread).  Consumers cache derived
+        #: topology (chains, children maps) keyed on this value and
+        #: invalidate only when it moves — see ``BroadcastSimulation``.
+        self.mutation_epoch = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -275,6 +280,7 @@ class ThreadMatrix:
         index = bisect_left(keys, key)
         keys.insert(index, key)
         self._col_ids[column].insert(index, node_id)
+        self.mutation_epoch += 1
 
     def _remove_from_column(self, column: int, key: float, node_id: int) -> None:
         keys = self._col_keys[column]
@@ -283,6 +289,7 @@ class ThreadMatrix:
             raise KeyError(f"node {node_id} not found in column {column}")
         keys.pop(index)
         self._col_ids[column].pop(index)
+        self.mutation_epoch += 1
 
     # ------------------------------------------------------------------
     # Invariant checking (used heavily by property tests)

@@ -68,6 +68,15 @@ class OverlayNetwork:
         return self.server.population
 
     @property
+    def mutation_epoch(self) -> int:
+        """Structural version of the overlay; bumps on every matrix change.
+
+        Lets consumers (simulators, analyses) cache topology-derived data
+        and invalidate precisely when the overlay actually mutated.
+        """
+        return self.server.matrix.mutation_epoch
+
+    @property
     def failed(self) -> frozenset[int]:
         return frozenset(self.server.failed)
 

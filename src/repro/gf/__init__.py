@@ -3,12 +3,16 @@
 Public API:
 
 * :mod:`repro.gf.field` — scalar/vector element arithmetic (``add``,
-  ``mul``, ``inv``, ``div``, ``power``, ``addmul_row``).
+  ``mul``, ``inv``, ``div``, ``power``).
+* :mod:`repro.gf.kernels` — batched hot-path kernels (``addmul_row``,
+  ``addmul_rows``, ``mix_rows``, ``eliminate``, ``gemm``) and the
+  reusable scratch :class:`~repro.gf.kernels.Workspace`.
 * :mod:`repro.gf.linalg` — dense matrix algebra (``matmul``, ``rref``,
   ``rank``, ``solve``, ``inverse``, ``vandermonde``).
 """
 
 from .field import add, addmul_row, div, inv, mul, power, scale_row, sub
+from .kernels import Workspace, addmul_rows, eliminate, gemm, mix_rows
 from .linalg import (
     inverse,
     is_full_rank,
@@ -28,9 +32,14 @@ __all__ = [
     "FIELD_SIZE",
     "GENERATOR",
     "PRIMITIVE_POLY",
+    "Workspace",
     "add",
     "addmul_row",
+    "addmul_rows",
     "div",
+    "eliminate",
+    "gemm",
+    "mix_rows",
     "inv",
     "inverse",
     "is_full_rank",

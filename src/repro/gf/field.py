@@ -12,6 +12,7 @@ from typing import Union
 
 import numpy as np
 
+from .kernels import addmul_row, scale_row  # noqa: F401  (canonical home)
 from .tables import EXP, FIELD_SIZE, INV, LOG, MUL
 
 Element = Union[int, np.ndarray]
@@ -70,20 +71,6 @@ def power(a: int, n: int) -> int:
     return int(EXP[exponent])
 
 
-def scale_row(row: np.ndarray, scalar: int) -> np.ndarray:
-    """Return ``scalar * row`` for a uint8 vector (vectorised)."""
-    if scalar == 0:
-        return np.zeros_like(row)
-    if scalar == 1:
-        return row.copy()
-    return MUL[scalar, row]
-
-
-def addmul_row(dest: np.ndarray, src: np.ndarray, scalar: int) -> None:
-    """In-place ``dest ^= scalar * src`` — the inner loop of all RLNC math."""
-    if scalar == 0:
-        return
-    if scalar == 1:
-        np.bitwise_xor(dest, src, out=dest)
-    else:
-        np.bitwise_xor(dest, MUL[scalar, src], out=dest)
+# ``scale_row`` and ``addmul_row`` live in :mod:`repro.gf.kernels` (the
+# single implementation of ``dest ^= scalar * src``) and are re-exported
+# here for the historical import path.

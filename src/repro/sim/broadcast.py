@@ -161,6 +161,17 @@ class BroadcastSimulation:
         self._received: dict[int, int] = {}
         self._innovative: dict[int, int] = {}
         self._completed_at: dict[int, int] = {}
+        # Cached rng handles: stream identity depends only on (seed, name),
+        # so hoisting the f-string/dict lookups off the per-slot path is
+        # behaviour-neutral.
+        self._loss_rng = self.streams.get("loss")
+        self._jammer_rngs: dict[int, np.random.Generator] = {}
+        # Topology cache, keyed on the overlay's mutation epoch: the
+        # column chains and children maps only change when the matrix
+        # mutates, not every slot.
+        self._topo_epoch = -1
+        self._server_targets: list[int] = []
+        self._peer_children: list[tuple[int, list[int]]] = []
 
     # ------------------------------------------------------------------
 
@@ -182,13 +193,21 @@ class BroadcastSimulation:
             self._innovative[node_id] = 0
         return recoder
 
+    def _jammer_rng(self, node_id: int) -> np.random.Generator:
+        """Per-node jammer stream, cached off the per-emission path."""
+        rng = self._jammer_rngs.get(node_id)
+        if rng is None:
+            rng = self.streams.get(f"jammer-{node_id}")
+            self._jammer_rngs[node_id] = rng
+        return rng
+
     def _jam_packet(self, node_id: int, generation: int) -> CodedPacket:
         """A garbage packet: random coefficients over a random payload.
 
         The coefficient header *claims* a valid combination, so honest
         receivers cannot distinguish it — the §7 jamming scenario.
         """
-        rng = self.streams.get(f"jammer-{node_id}")
+        rng = self._jammer_rng(node_id)
         coefficients = rng.integers(0, FIELD_SIZE, size=self.params.generation_size,
                                     dtype=np.uint8)
         if not coefficients.any():
@@ -198,46 +217,74 @@ class BroadcastSimulation:
         return CodedPacket(generation=generation, coefficients=coefficients,
                            payload=payload, origin=node_id)
 
+    def _refresh_topology(self) -> None:
+        """Rebuild the cached chains/children maps if the overlay mutated.
+
+        ``column_chain``/``children_of`` walk the per-column occupancy
+        lists; doing that every slot dominated the emit phase.  The cache
+        is keyed on the matrix's mutation epoch, so arbitrary churn
+        between slots is still picked up immediately.  Failures and
+        outages are *not* baked in — they are checked per slot, exactly
+        as before.
+        """
+        matrix = self.net.matrix
+        epoch = matrix.mutation_epoch
+        if epoch == self._topo_epoch:
+            return
+        self._topo_epoch = epoch
+        # Server: the first occupant of each non-empty column, in column
+        # order (columns hanging straight off the rod have no subscriber).
+        self._server_targets = []
+        for column in range(matrix.k):
+            chain = matrix.column_chain(column)
+            if chain:
+                self._server_targets.append(chain[0])
+        # Peers: each node's attached children, in the node and column
+        # order the uncached walk used.
+        self._peer_children = []
+        for node_id in matrix.node_ids:
+            children = [
+                child
+                for child in matrix.children_of(node_id).values()
+                if child is not None
+            ]
+            self._peer_children.append((node_id, children))
+
     def _emissions(self) -> list[tuple[int, CodedPacket]]:
         """Phase 1: compute every (destination, packet) for this slot."""
-        matrix = self.net.matrix
+        self._refresh_topology()
         failed = self.net.server.failed
+        outaged = self.outaged
         sends: list[tuple[int, CodedPacket]] = []
         server_active = (
             self.server_detach_slot is None or self.slot < self.server_detach_slot
         )
         # Server: one packet per column, to the column's first occupant.
         if server_active:
-            for column in range(matrix.k):
-                chain = matrix.column_chain(column)
-                if not chain:
-                    continue  # hanging straight off the rod: no subscriber
-                target = chain[0]
+            for target in self._server_targets:
                 sends.append((target, self.encoder.emit()))
-                self.server_packets += 1
+            self.server_packets += len(self._server_targets)
         # Peers: one mixture per attached outgoing thread.
-        for node_id in matrix.node_ids:
-            if node_id in failed or node_id in self.outaged:
+        for node_id, children in self._peer_children:
+            if not children or node_id in failed or node_id in outaged:
                 continue
             recoder = self.recoder_of(node_id)
             role = self.role_of(node_id)
-            for column, child in matrix.children_of(node_id).items():
-                if child is None:
-                    continue
-                if role is NodeRole.JAMMER:
-                    generation = int(
-                        self.streams.get(f"jammer-{node_id}").integers(
-                            0, self.generation_count
-                        )
-                    )
-                    sends.append((child, self._jam_packet(node_id, generation)))
-                    continue
-                if role is NodeRole.ENTROPY_ATTACKER:
-                    packet = recoder.emit_trivial()
-                else:
+            if role is NodeRole.HONEST:
+                for child in children:
                     packet = recoder.emit()
-                if packet is not None:
-                    sends.append((child, packet))
+                    if packet is not None:
+                        sends.append((child, packet))
+            elif role is NodeRole.JAMMER:
+                jam_rng = self._jammer_rng(node_id)
+                for child in children:
+                    generation = int(jam_rng.integers(0, self.generation_count))
+                    sends.append((child, self._jam_packet(node_id, generation)))
+            else:  # NodeRole.ENTROPY_ATTACKER
+                for child in children:
+                    packet = recoder.emit_trivial()
+                    if packet is not None:
+                        sends.append((child, packet))
         return sends
 
     def step(self) -> None:
@@ -248,16 +295,26 @@ class BroadcastSimulation:
             )
         sends = self._emissions()
         failed = self.net.server.failed
-        loss_rng = self.streams.get("loss")
-        for destination, packet in sends:
-            delivered = (
-                destination not in failed
-                and destination not in self.outaged
-                and self.loss.delivers(loss_rng)
-            )
-            self.link_stats.record(delivered)
+        outaged = self.outaged
+        # Loss draws are batched into one vectorised RNG call per slot.
+        # Only sends whose receiver is alive consume a draw — the same
+        # short-circuit (and therefore the same variate stream) as the
+        # historical per-send scalar path.
+        eligible = [
+            destination not in failed and destination not in outaged
+            for destination, _ in sends
+        ]
+        draws = self.loss.delivers_batch(self._loss_rng, sum(eligible))
+        delivered_count = 0
+        cursor = 0
+        for (destination, packet), alive in zip(sends, eligible):
+            if not alive:
+                continue
+            delivered = bool(draws[cursor])
+            cursor += 1
             if not delivered:
                 continue
+            delivered_count += 1
             recoder = self.recoder_of(destination)
             was_innovative = recoder.receive(packet)
             self._received[destination] += 1
@@ -268,6 +325,7 @@ class BroadcastSimulation:
                     and recoder.decoder.is_complete
                 ):
                     self._completed_at[destination] = self.slot
+        self.link_stats.record_batch(len(sends), delivered_count)
         self.slot += 1
 
     def detach_server(self, at_slot: Optional[int] = None) -> None:
@@ -296,18 +354,16 @@ class BroadcastSimulation:
                 if node_id in failed or node_id not in self.net.matrix:
                     continue
                 decoder = recoder.decoder.generations[generation]
-                size = self.params.generation_size
                 if decoder.is_complete:
                     rows = None  # someone already decodes: full rank
                     break
-                rows.extend(
-                    packet.coefficients for packet in decoder.basis_packets()
-                )
+                if decoder.rank:
+                    rows.append(decoder.coefficient_rows())
             if rows is None:
                 continue
             if not rows:
                 return False
-            if gf_rank(np.stack(rows)) < self.params.generation_size:
+            if gf_rank(np.concatenate(rows, axis=0)) < self.params.generation_size:
                 return False
         return True
 

@@ -126,12 +126,13 @@ class GraphBroadcastSimulation:
                 if decoder.is_complete:
                     complete = True
                     break
-                rows.extend(p.coefficients for p in decoder.basis_packets())
+                if decoder.rank:
+                    rows.append(decoder.coefficient_rows())
             if complete:
                 continue
             if not rows:
                 return False
-            if gf_rank(np.stack(rows)) < self.params.generation_size:
+            if gf_rank(np.concatenate(rows, axis=0)) < self.params.generation_size:
                 return False
         return True
 

@@ -32,6 +32,19 @@ class LossModel:
             return True
         return bool(rng.random() >= self.loss_rate)
 
+    def delivers_batch(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Sample ``count`` delivery attempts with one vectorised draw.
+
+        Stream-compatible with ``count`` sequential :meth:`delivers` calls
+        on the same generator: ``Generator.random(n)`` consumes the exact
+        same variates as ``n`` scalar ``random()`` calls, and a zero loss
+        rate draws nothing in either form — so seeded runs are bit-for-bit
+        identical whichever API the simulator uses.
+        """
+        if self.loss_rate == 0.0:
+            return np.ones(count, dtype=bool)
+        return rng.random(count) >= self.loss_rate
+
 
 @dataclass
 class OutageModel:
@@ -71,16 +84,28 @@ class OutageModel:
         return self.onset / (self.onset + self.recovery)
 
     def advance(self, outaged: set[int], population, rng: np.random.Generator) -> None:
-        """Advance the outage state one slot, in place."""
+        """Advance the outage state one slot, in place.
+
+        Draws are batched (one vectorised ``random(n)`` per phase) but
+        stream-compatible with the historical per-node scalar loop: the
+        same nodes are visited in the same order and consume the same
+        variates, so seeded runs are unchanged.
+        """
         if self.onset == 0.0 and not outaged:
             return
-        for node in list(outaged):
-            if rng.random() < self.recovery:
-                outaged.discard(node)
+        recovering = list(outaged)
+        if recovering:
+            recovered = np.asarray(rng.random(len(recovering)) < self.recovery)
+            outaged.difference_update(
+                node for node, done in zip(recovering, recovered) if done
+            )
         if self.onset:
-            for node in population:
-                if node not in outaged and rng.random() < self.onset:
-                    outaged.add(node)
+            candidates = [node for node in population if node not in outaged]
+            if candidates:
+                onsets = np.asarray(rng.random(len(candidates)) < self.onset)
+                outaged.update(
+                    node for node, hit in zip(candidates, onsets) if hit
+                )
 
 
 @dataclass
@@ -94,6 +119,11 @@ class LinkStats:
         self.attempted += 1
         if delivered:
             self.delivered += 1
+
+    def record_batch(self, attempted: int, delivered: int) -> None:
+        """Account a whole slot's deliveries in one call."""
+        self.attempted += attempted
+        self.delivered += delivered
 
     @property
     def delivery_ratio(self) -> float:
