@@ -7,7 +7,6 @@ curtain depth grows linearly in N (chains of expected length N·d/k);
 random-graph and tree depths grow logarithmically.
 """
 
-import numpy as np
 
 from repro.analysis import delay_profile, pipeline_depth_profile
 from repro.baselines import StripedTrees

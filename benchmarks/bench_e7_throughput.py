@@ -27,7 +27,7 @@ from repro.baselines import (
 )
 from repro.coding import GenerationParams
 from repro.core import OverlayNetwork
-from repro.failures import RandomBatchFailures, apply_failures
+from repro.failures import RandomBatchFailures
 from repro.sim import BroadcastSimulation
 
 from conftest import emit_table, run_once

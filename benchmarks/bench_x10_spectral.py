@@ -20,7 +20,6 @@ Delay and mixing are what the curtain trades away for acyclicity; E6,
 X2 and this table are three views of the same trade.
 """
 
-import numpy as np
 
 from repro.analysis import spectral_gap
 from repro.baselines import ChainOverlay

@@ -12,7 +12,6 @@ every hop.  Three configurations:
 """
 
 import numpy as np
-import pytest
 
 from repro.coding import Decoder, GenerationParams, Recoder, SourceEncoder
 from repro.coding.packet import CodedPacket

@@ -10,7 +10,11 @@ JSON perf snapshot so the trajectory across PRs is diffable:
 * **recode** — random-mixture emit rate of a full-rank buffer, again
   vs the seed mixing code;
 * **slot_loop** — wall clock of an E7-style `BroadcastSimulation` run
-  (the paper's throughput experiment geometry).
+  (the paper's throughput experiment geometry);
+* **runtime_overhead** — the same E7 run on today's unified
+  `repro.sim.runtime` kernel, compared against the slot-loop numbers
+  recorded in ``BENCH_PR1.json`` (captured before the five simulators
+  were migrated onto the shared runtime) to bound the abstraction cost.
 
 Usage::
 
@@ -45,7 +49,10 @@ from repro.sim.broadcast import BroadcastSimulation
 from repro.sim.links import LossModel
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUT = REPO_ROOT / "BENCH_PR1.json"
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR2.json"
+#: Perf snapshot recorded before the unified-runtime migration; the
+#: runtime_overhead bench reads its slot-loop numbers as the reference.
+PR1_SNAPSHOT = REPO_ROOT / "BENCH_PR1.json"
 
 DECODE_GENERATION_SIZES = (16, 32, 64)
 
@@ -248,6 +255,31 @@ def bench_slot_loop(quick: bool) -> dict[str, float]:
     }
 
 
+def bench_runtime_overhead(quick: bool) -> dict[str, float]:
+    """Unified-runtime slot loop vs the pre-migration PR 1 recording.
+
+    Re-times :func:`bench_slot_loop` (which now runs through
+    ``repro.sim.runtime.SlottedRuntime``) and, when the PR 1 snapshot is
+    available, reports the throughput ratio against the recorded
+    pre-refactor loop.  A ratio near 1.0 means the topology/behaviour
+    indirection costs nothing measurable; the acceptance bar is 0.95.
+    """
+    current = bench_slot_loop(quick)
+    metrics: dict[str, float] = {
+        "slots_per_s": current["slots_per_s"],
+        "wall_clock_s": current["wall_clock_s"],
+        "completion_fraction": current["completion_fraction"],
+    }
+    if PR1_SNAPSHOT.exists():
+        recorded = json.loads(PR1_SNAPSHOT.read_text()).get("slot_loop", {})
+        if "slots_per_s" in recorded:
+            metrics["slots_per_s_pr1_recorded"] = recorded["slots_per_s"]
+            metrics["relative_throughput"] = (
+                current["slots_per_s"] / recorded["slots_per_s"]
+            )
+    return metrics
+
+
 # ----------------------------------------------------------------------
 
 
@@ -258,6 +290,7 @@ def run(quick: bool) -> dict[str, dict[str, float]]:
         "decode": bench_decode(budget_s, payload_size),
         "recode": bench_recode(budget_s, payload_size),
         "slot_loop": bench_slot_loop(quick),
+        "runtime_overhead": bench_runtime_overhead(quick),
     }
 
 

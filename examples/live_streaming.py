@@ -10,7 +10,6 @@ generation — the streaming analogue of staying ahead of the playhead.
 Run:  python examples/live_streaming.py
 """
 
-import numpy as np
 
 from repro.sim import run_session
 from repro.workloads import live_streaming

@@ -21,7 +21,7 @@ from typing import AbstractSet, Optional
 import numpy as np
 
 from ..gf.linalg import matmul, solve, vandermonde
-from ..core.matrix import SERVER, ThreadMatrix
+from ..core.matrix import ThreadMatrix
 
 
 # ----------------------------------------------------------------------

@@ -15,141 +15,36 @@ coupon-collector gap to RLNC — but not all of it, and only via a
 heuristic whose accuracy decays with distance, whereas a random linear
 mixture is *always* (w.h.p.) useful without any estimation at all.
 That comparison is the practical content of the paper's coding argument.
+
+Since the runtime unification the piece-selection policy lives in
+:class:`~repro.sim.behaviors.RarestFirstBehavior`; the slot loop is the
+shared :class:`~repro.sim.runtime.SlottedRuntime`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from ..core.overlay import OverlayNetwork
-from ..sim.links import LinkStats, LossModel
-from ..sim.rng import RngStreams
-from .store_forward import FloodingReport
+from ..sim.behaviors import RarestFirstBehavior
+from .store_forward import FloodingReport, FloodingSimulation
+
+# FloodingReport is re-exported for callers that imported it from here.
+__all__ = ["FloodingReport", "RarestFirstSimulation"]
 
 
-class RarestFirstSimulation:
+class RarestFirstSimulation(FloodingSimulation):
     """Uncoded forwarding with local rarest-first piece selection.
 
     Same slot discipline and reporting as
-    :class:`~repro.baselines.store_forward.FloodingSimulation`.
+    :class:`~repro.baselines.store_forward.FloodingSimulation`; only the
+    node behaviour differs.
     """
 
-    def __init__(
-        self,
-        net: OverlayNetwork,
-        packet_count: int,
-        seed: Optional[int] = None,
-        loss: Optional[LossModel] = None,
-    ) -> None:
-        if packet_count < 1:
-            raise ValueError("packet_count must be >= 1")
-        self.net = net
-        self.packet_count = packet_count
-        self.streams = RngStreams(seed)
-        self.loss = loss or LossModel(0.0)
-        self.slot = 0
-        self.link_stats = LinkStats()
-        self._buffers: dict[int, set[int]] = {}
-        self._seen_counts: dict[int, np.ndarray] = {}
-        self._received: dict[int, int] = {}
-        self._completed_at: dict[int, int] = {}
+    behavior_class = RarestFirstBehavior
 
-    def buffer_of(self, node_id: int) -> set[int]:
-        buffer = self._buffers.get(node_id)
-        if buffer is None:
-            buffer = set()
-            self._buffers[node_id] = buffer
-            self._seen_counts[node_id] = np.zeros(self.packet_count, dtype=np.int64)
-            self._received[node_id] = 0
-        return buffer
+    @property
+    def _seen_counts(self) -> dict[int, np.ndarray]:
+        return self.behavior._seen_counts
 
     def _pick_piece(self, node_id: int, rng: np.random.Generator) -> int:
-        """The buffered piece with the lowest seen+sent score.
-
-        The pick is immediately scored as a transmission so a node
-        rotates through its buffer instead of fixating on one piece.
-        """
-        buffer = self._buffers[node_id]
-        counts = self._seen_counts[node_id]
-        items = np.fromiter(buffer, dtype=np.int64)
-        rarity = counts[items]
-        rarest = items[rarity == rarity.min()]
-        pick = int(rarest[rng.integers(0, rarest.size)])
-        counts[pick] += 1
-        return pick
-
-    def step(self) -> None:
-        """One slot: emissions from current buffers, then delivery."""
-        matrix = self.net.matrix
-        failed = self.net.server.failed
-        forward_rng = self.streams.get("forward")
-        loss_rng = self.streams.get("loss")
-        server_rng = self.streams.get("server")
-        sends: list[tuple[int, int]] = []
-        for column in range(matrix.k):
-            chain = matrix.column_chain(column)
-            if not chain:
-                continue
-            sends.append((chain[0], int(server_rng.integers(0, self.packet_count))))
-        for node_id in matrix.node_ids:
-            if node_id in failed:
-                continue
-            buffer = self.buffer_of(node_id)
-            if not buffer:
-                continue
-            for column, child in matrix.children_of(node_id).items():
-                if child is None:
-                    continue
-                sends.append((child, self._pick_piece(node_id, forward_rng)))
-        for destination, piece in sends:
-            delivered = destination not in failed and self.loss.delivers(loss_rng)
-            self.link_stats.record(delivered)
-            if not delivered:
-                continue
-            buffer = self.buffer_of(destination)
-            self._received[destination] += 1
-            self._seen_counts[destination][piece] += 1
-            if piece not in buffer:
-                buffer.add(piece)
-                if (
-                    len(buffer) == self.packet_count
-                    and destination not in self._completed_at
-                ):
-                    self._completed_at[destination] = self.slot
-        self.slot += 1
-
-    def run_until_complete(self, max_slots: int = 10_000) -> FloodingReport:
-        while self.slot < max_slots:
-            targets = self.net.working_nodes
-            if targets and all(t in self._completed_at for t in targets):
-                break
-            self.step()
-        return self.report()
-
-    def report(self) -> FloodingReport:
-        targets = self.net.working_nodes
-        unique_fractions = []
-        duplicates = 0
-        received = 0
-        done = 0
-        completion = []
-        for node_id in targets:
-            buffer = self._buffers.get(node_id, set())
-            got = self._received.get(node_id, 0)
-            unique_fractions.append(len(buffer) / self.packet_count)
-            duplicates += max(0, got - len(buffer))
-            received += got
-            if node_id in self._completed_at:
-                done += 1
-                completion.append(self._completed_at[node_id])
-        return FloodingReport(
-            slots=self.slot,
-            completion_fraction=done / len(targets) if targets else 0.0,
-            mean_unique_fraction=(
-                float(np.mean(unique_fractions)) if unique_fractions else 0.0
-            ),
-            duplicate_fraction=duplicates / received if received else 0.0,
-            completion_slots=completion,
-        )
+        return self.behavior._pick_piece(node_id, rng)

@@ -1,35 +1,29 @@
 """Baseline 5 — uncoded store-and-forward (random packet flooding).
 
-Same overlay, same slot discipline as the RLNC simulator, but nodes
-forward a uniformly random *unmodified* packet from their buffer instead
-of a fresh mixture.  Receivers must collect all ``g`` distinct source
-packets — the coupon-collector problem: the last few packets take
-disproportionately long, and duplicate deliveries waste bandwidth.
-Network coding's whole point is that every random mixture is (almost
-surely) useful; this baseline quantifies the gap.
+Same overlay, same slot discipline as the RLNC simulator — literally the
+same kernel since the runtime unification: this is a
+:class:`~repro.sim.runtime.SlottedRuntime` over the curtain topology
+with a :class:`~repro.sim.behaviors.StoreForwardBehavior` instead of
+RLNC recoding.  Nodes forward a uniformly random *unmodified* packet
+from their buffer instead of a fresh mixture.  Receivers must collect
+all ``g`` distinct source packets — the coupon-collector problem: the
+last few packets take disproportionately long, and duplicate deliveries
+waste bandwidth.  Network coding's whole point is that every random
+mixture is (almost surely) useful; this baseline quantifies the gap.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
-
 from ..core.overlay import OverlayNetwork
+from ..sim.behaviors import StoreForwardBehavior
 from ..sim.links import LinkStats, LossModel
+from ..sim.report import FloodingReport, RunReport
 from ..sim.rng import RngStreams
+from ..sim.runtime import DEFAULT_MAX_SLOTS, CurtainTopology, SlottedRuntime
 
-
-@dataclass
-class FloodingReport:
-    """Outcome of an uncoded flooding run."""
-
-    slots: int
-    completion_fraction: float
-    mean_unique_fraction: float
-    duplicate_fraction: float
-    completion_slots: list[int] = field(default_factory=list)
+__all__ = ["FloodingReport", "FloodingSimulation"]
 
 
 class FloodingSimulation:
@@ -43,6 +37,8 @@ class FloodingSimulation:
     buffered index per thread per slot.
     """
 
+    behavior_class = StoreForwardBehavior
+
     def __init__(
         self,
         net: OverlayNetwork,
@@ -50,101 +46,63 @@ class FloodingSimulation:
         seed: Optional[int] = None,
         loss: Optional[LossModel] = None,
     ) -> None:
-        if packet_count < 1:
-            raise ValueError("packet_count must be >= 1")
         self.net = net
         self.packet_count = packet_count
         self.streams = RngStreams(seed)
-        self.loss = loss or LossModel(0.0)
-        self.slot = 0
-        self.link_stats = LinkStats()
-        self._buffers: dict[int, set[int]] = {}
-        self._received: dict[int, int] = {}
-        self._completed_at: dict[int, int] = {}
-        self._server_cursor = 0
+        self.behavior = self.behavior_class(packet_count, self.streams)
+        self.topology = CurtainTopology(net)
+        self.runtime = SlottedRuntime(
+            self.topology, self.behavior, streams=self.streams, loss=loss
+        )
+
+    # -- delegated state -----------------------------------------------
+
+    @property
+    def loss(self) -> LossModel:
+        return self.runtime.loss
+
+    @property
+    def slot(self) -> int:
+        return self.runtime.slot
+
+    @property
+    def link_stats(self) -> LinkStats:
+        return self.runtime.link_stats
+
+    @property
+    def _buffers(self) -> dict[int, set[int]]:
+        return self.behavior._buffers
+
+    @property
+    def _received(self) -> dict[int, int]:
+        return self.behavior._received
+
+    @property
+    def _completed_at(self) -> dict[int, int]:
+        return self.behavior._completed_at
+
+    @property
+    def _server_cursor(self) -> int:
+        return self.behavior.server_cursor
 
     def buffer_of(self, node_id: int) -> set[int]:
-        buffer = self._buffers.get(node_id)
-        if buffer is None:
-            buffer = set()
-            self._buffers[node_id] = buffer
-            self._received[node_id] = 0
-        return buffer
+        return self.behavior.buffer_of(node_id)
+
+    # -- running --------------------------------------------------------
 
     def step(self) -> None:
         """One slot: emissions from current buffers, then delivery."""
-        matrix = self.net.matrix
-        failed = self.net.server.failed
-        forward_rng = self.streams.get("forward")
-        loss_rng = self.streams.get("loss")
-        sends: list[tuple[int, int]] = []
-        server_rng = self.streams.get("server")
-        for column in range(matrix.k):
-            chain = matrix.column_chain(column)
-            if not chain:
-                continue
-            sends.append((chain[0], int(server_rng.integers(0, self.packet_count))))
-            self._server_cursor += 1
-        for node_id in matrix.node_ids:
-            if node_id in failed:
-                continue
-            buffer = self.buffer_of(node_id)
-            if not buffer:
-                continue
-            items = sorted(buffer)
-            for column, child in matrix.children_of(node_id).items():
-                if child is None:
-                    continue
-                pick = items[int(forward_rng.integers(0, len(items)))]
-                sends.append((child, pick))
-        for destination, packet in sends:
-            delivered = destination not in failed and self.loss.delivers(loss_rng)
-            self.link_stats.record(delivered)
-            if not delivered:
-                continue
-            buffer = self.buffer_of(destination)
-            self._received[destination] += 1
-            if packet not in buffer:
-                buffer.add(packet)
-                if (
-                    len(buffer) == self.packet_count
-                    and destination not in self._completed_at
-                ):
-                    self._completed_at[destination] = self.slot
-        self.slot += 1
+        self.runtime.step()
 
-    def run_until_complete(self, max_slots: int = 10_000) -> FloodingReport:
+    def run_until_complete(self, max_slots: int = DEFAULT_MAX_SLOTS) -> FloodingReport:
         """Run until every working node collects everything (or timeout)."""
-        while self.slot < max_slots:
-            targets = self.net.working_nodes
-            if targets and all(t in self._completed_at for t in targets):
-                break
-            self.step()
+        self.runtime.run_until_complete(max_slots)
         return self.report()
+
+    def run_report(self) -> RunReport:
+        """The unified per-node report (richer than :class:`FloodingReport`)."""
+        return self.runtime.report()
 
     def report(self) -> FloodingReport:
         """Aggregate statistics over the current working nodes."""
-        targets = self.net.working_nodes
-        unique_fractions = []
-        duplicates = 0
-        received = 0
-        done = 0
-        completion = []
-        for node_id in targets:
-            buffer = self._buffers.get(node_id, set())
-            got = self._received.get(node_id, 0)
-            unique_fractions.append(len(buffer) / self.packet_count)
-            duplicates += max(0, got - len(buffer))
-            received += got
-            if node_id in self._completed_at:
-                done += 1
-                completion.append(self._completed_at[node_id])
-        return FloodingReport(
-            slots=self.slot,
-            completion_fraction=done / len(targets) if targets else 0.0,
-            mean_unique_fraction=(
-                float(np.mean(unique_fractions)) if unique_fractions else 0.0
-            ),
-            duplicate_fraction=duplicates / received if received else 0.0,
-            completion_slots=completion,
-        )
+        return FloodingReport.from_run(self.runtime.report())

@@ -35,8 +35,12 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if args.max_slots:
         overrides["max_slots"] = args.max_slots
     config = preset(seed=args.seed, **overrides)
+    if args.topology != "curtain":
+        config.topology = args.topology
+        config.fail_probability = 0.0  # the §6 overlay has no repair protocol
     print(f"running scenario {args.name!r}: k={config.k} d={config.d} "
-          f"N={config.population} content={config.content_size}B")
+          f"N={config.population} content={config.content_size}B "
+          f"topology={config.topology}")
     result = run_session(config)
     report = result.report
     print(f"slots: {report.slots}")
@@ -51,6 +55,53 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     bad = [n.node_id for n in report.nodes if n.decoded_ok is False]
     print(f"corrupt decodes: {len(bad)}")
     return 0 if not bad else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """RLNC vs the uncoded baselines on one overlay, one data plane.
+
+    All three schemes run through :class:`repro.sim.SlottedRuntime` with
+    the same curtain topology, loss model, and slot budget — the
+    apples-to-apples comparison the unified runtime exists for.
+    """
+    from .baselines import FloodingSimulation, RarestFirstSimulation
+    from .coding.generation import GenerationParams
+    from .core import OverlayNetwork
+    from .sim import BroadcastSimulation, LossModel
+
+    def build_net():
+        net = OverlayNetwork(k=args.k, d=args.d, seed=args.seed)
+        net.grow(args.peers)
+        return net
+
+    rng = np.random.default_rng(args.seed)
+    content = bytes(
+        rng.integers(0, 256, size=args.g * args.payload, dtype=np.uint8)
+    )
+    loss = LossModel(args.p)
+    rlnc = BroadcastSimulation(
+        build_net(), content, GenerationParams(args.g, args.payload),
+        seed=args.seed, loss=loss,
+    )
+    flood = FloodingSimulation(build_net(), packet_count=args.g,
+                               seed=args.seed, loss=loss)
+    rarest = RarestFirstSimulation(build_net(), packet_count=args.g,
+                                   seed=args.seed, loss=loss)
+    print(f"comparing schemes: k={args.k} d={args.d} N={args.peers} "
+          f"g={args.g} loss={args.p} budget={args.max_slots} slots")
+    rows = [
+        ("rlnc", rlnc.run_until_complete(max_slots=args.max_slots)),
+        ("store-forward", flood.run_until_complete(max_slots=args.max_slots)),
+        ("rarest-first", rarest.run_until_complete(max_slots=args.max_slots)),
+    ]
+    for name, report in rows:
+        slots = (report.completion_slots() if callable(report.completion_slots)
+                 else report.completion_slots)
+        last = max(slots) if slots else args.max_slots
+        print(f"  {name:>14}: completion {report.completion_fraction:.1%}  "
+              f"mean slot {report.mean_completion_slot():.1f}  "
+              f"p95 {report.completion_percentile(95):.0f}  last {last}")
+    return 0
 
 
 def _cmd_overlay(args: argparse.Namespace) -> int:
@@ -129,7 +180,23 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--seed", type=int, default=0)
     scenario.add_argument("--population", type=int, default=0)
     scenario.add_argument("--max-slots", type=int, default=0, dest="max_slots")
+    scenario.add_argument("--topology", choices=["curtain", "graph"],
+                          default="curtain",
+                          help="overlay family (curtain matrix or §6 random graph)")
     scenario.set_defaults(func=_cmd_scenario)
+
+    compare = sub.add_parser(
+        "compare", help="RLNC vs uncoded baselines on the unified data plane"
+    )
+    compare.add_argument("--k", type=int, default=8)
+    compare.add_argument("--d", type=int, default=2)
+    compare.add_argument("--peers", type=int, default=32)
+    compare.add_argument("--g", type=int, default=16)
+    compare.add_argument("--payload", type=int, default=128)
+    compare.add_argument("--p", type=float, default=0.02)
+    compare.add_argument("--max-slots", type=int, default=600, dest="max_slots")
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
 
     overlay = sub.add_parser("overlay", help="build an overlay and report health")
     overlay.add_argument("--k", type=int, default=24)

@@ -12,7 +12,6 @@ X-series ablation can measure that gap on the real decoder machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -14,7 +14,7 @@ simulator or an application supplies — e.g. packet-loss measurements per
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .server import CoordinationServer
 

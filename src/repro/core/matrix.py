@@ -24,7 +24,7 @@ are tracked by the server registry and applied at analysis time.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 

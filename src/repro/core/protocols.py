@@ -10,10 +10,9 @@ event).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from .matrix import SERVER
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,6 @@ them head-to-head.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Optional, Union
 
 import numpy as np

@@ -10,7 +10,6 @@ questions (how long do children sit disconnected before repair?).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

@@ -12,7 +12,7 @@ arrive at random times) and the attack the randomisation defends against
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Protocol
 
 import numpy as np
 

@@ -11,10 +11,9 @@ server probes the suspect and, on probe timeout, splices it out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Optional
 
-import numpy as np
 
 from ..core.server import CoordinationServer
 from ..sim.engine import Simulator

@@ -8,8 +8,7 @@ load on the server" claim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 #: Address of the server actor.
 SERVER_ADDRESS = "server"

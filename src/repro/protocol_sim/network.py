@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Optional, Protocol
+from typing import Hashable, Protocol
 
 import numpy as np
 

@@ -1,22 +1,46 @@
 """Simulation layer: event engine, loss models, slotted RLNC broadcast.
 
+* :class:`SlottedRuntime` — the unified two-phase slotted kernel: one
+  :class:`Topology` (who sends to whom) × one :class:`NodeBehavior`
+  (what is sent, what receipt does) under shared loss/outage/link
+  accounting.  Every simulator below runs on it.
+* :class:`BroadcastSimulation` — RLNC over the curtain overlay.
+* :class:`GraphBroadcastSimulation` — RLNC over the §6 random graph.
+* :func:`run_session` — one-call scenario orchestration (churn, repair,
+  and attack schedules as runtime slot hooks).
 * :class:`Simulator` — generic discrete-event engine (membership/churn
   timing experiments).
-* :class:`BroadcastSimulation` — the packet-level data plane: one coded
-  packet per thread per slot, RLNC mixing at every working node.
-* :func:`run_session` — one-call scenario orchestration.
 """
 
-from .broadcast import (
-    BroadcastReport,
-    BroadcastSimulation,
-    NodeReport,
+from .behaviors import (
     NodeRole,
+    RarestFirstBehavior,
+    RlncBehavior,
+    StoreForwardBehavior,
 )
+from .broadcast import BroadcastSimulation
 from .engine import SimulationError, Simulator
 from .graph_broadcast import GraphBroadcastSimulation
 from .events import Event, make_event
 from .links import LinkStats, LossModel, OutageModel
+from .report import (
+    BroadcastReport,
+    FloodingReport,
+    NodeReport,
+    RunReport,
+    SlotRecord,
+    completion_percentile,
+    mean_completion_slot,
+)
+from .runtime import (
+    DEFAULT_MAX_SLOTS,
+    CurtainTopology,
+    GraphTopology,
+    NodeBehavior,
+    SlottedRuntime,
+    StaticTopology,
+    Topology,
+)
 from .streaming import PlaybackMonitor, PlaybackReport
 from .rng import RngStreams, make_rng
 from .session import SessionConfig, SessionResult, run_session
@@ -24,21 +48,36 @@ from .session import SessionConfig, SessionResult, run_session
 __all__ = [
     "BroadcastReport",
     "BroadcastSimulation",
+    "CurtainTopology",
+    "DEFAULT_MAX_SLOTS",
     "Event",
+    "FloodingReport",
     "GraphBroadcastSimulation",
+    "GraphTopology",
     "LinkStats",
     "LossModel",
+    "NodeBehavior",
     "NodeReport",
     "NodeRole",
     "OutageModel",
     "PlaybackMonitor",
     "PlaybackReport",
+    "RarestFirstBehavior",
+    "RlncBehavior",
     "RngStreams",
+    "RunReport",
     "SessionConfig",
     "SessionResult",
     "SimulationError",
     "Simulator",
+    "SlotRecord",
+    "SlottedRuntime",
+    "StaticTopology",
+    "StoreForwardBehavior",
+    "Topology",
+    "completion_percentile",
     "make_event",
     "make_rng",
+    "mean_completion_slot",
     "run_session",
 ]

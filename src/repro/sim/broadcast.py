@@ -19,94 +19,33 @@ that claims to be a valid combination (§7's pollution scenario).
 The overlay may be mutated between slots (join/leave/fail/repair) — the
 simulator picks up topology changes automatically, which is exactly the
 robustness-to-churn property network coding buys.
+
+Since the runtime unification this class is a thin adapter: the slot
+kernel lives in :class:`~repro.sim.runtime.SlottedRuntime`, the curtain
+edge view in :class:`~repro.sim.runtime.CurtainTopology`, and the
+RLNC/attacker node state in :class:`~repro.sim.behaviors.RlncBehavior`.
+Seeded runs are golden-tested identical to the pre-unification loop.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
-
-from ..coding.decoder import Decoder
-from ..coding.encoder import SourceEncoder
 from ..coding.generation import GenerationParams
-from ..coding.packet import CodedPacket
 from ..coding.recoder import Recoder
-from ..core.matrix import SERVER
 from ..core.overlay import OverlayNetwork
-from ..gf.tables import FIELD_SIZE
+from .behaviors import NodeRole, RlncBehavior
 from .links import LinkStats, LossModel, OutageModel
+from .report import BroadcastReport, NodeReport, RunReport
 from .rng import RngStreams
+from .runtime import DEFAULT_MAX_SLOTS, CurtainTopology, SlottedRuntime
 
-
-class NodeRole(enum.Enum):
-    """Behavioural role of a peer in the data plane."""
-
-    HONEST = "honest"
-    ENTROPY_ATTACKER = "entropy"  # §7: forwards trivial combinations
-    JAMMER = "jammer"  # §7: injects random garbage packets
-
-
-@dataclass
-class NodeReport:
-    """Per-node outcome of a broadcast run.
-
-    Attributes:
-        node_id: The peer.
-        rank: Degrees of freedom collected (across generations).
-        needed: Degrees of freedom required for full decode.
-        completed_at: Slot at which decoding completed (None if never).
-        received: Packets delivered to this node.
-        innovative: Of those, rank-increasing ones.
-        decoded_ok: True if the node decoded *and* the content matched the
-            original bytes (False under jamming pollution).
-    """
-
-    node_id: int
-    rank: int
-    needed: int
-    completed_at: Optional[int]
-    received: int
-    innovative: int
-    decoded_ok: Optional[bool]
-
-
-@dataclass
-class BroadcastReport:
-    """Aggregate outcome of a broadcast run."""
-
-    slots: int
-    nodes: list[NodeReport]
-    link_stats: LinkStats
-    server_packets: int
-
-    @property
-    def completion_fraction(self) -> float:
-        """Fraction of measured nodes that fully decoded."""
-        if not self.nodes:
-            return 0.0
-        return sum(1 for n in self.nodes if n.completed_at is not None) / len(self.nodes)
-
-    @property
-    def mean_goodput(self) -> float:
-        """Mean innovative packets per node per slot (units of bandwidth)."""
-        if not self.nodes or self.slots == 0:
-            return 0.0
-        return float(np.mean([n.innovative for n in self.nodes])) / self.slots
-
-    @property
-    def poisoned_fraction(self) -> float:
-        """Fraction of completed nodes whose decoded bytes were corrupt."""
-        completed = [n for n in self.nodes if n.completed_at is not None]
-        if not completed:
-            return 0.0
-        return sum(1 for n in completed if n.decoded_ok is False) / len(completed)
-
-    def completion_slots(self) -> list[int]:
-        """Completion times of the nodes that finished."""
-        return [n.completed_at for n in self.nodes if n.completed_at is not None]
+__all__ = [
+    "BroadcastReport",
+    "BroadcastSimulation",
+    "NodeReport",
+    "NodeRole",
+]
 
 
 class BroadcastSimulation:
@@ -140,193 +79,96 @@ class BroadcastSimulation:
         self.content = content
         self.params = params
         self.streams = RngStreams(seed)
-        self.loss = loss or LossModel(0.0)
-        self.outage = outage
-        #: Nodes currently in an ergodic outage (silent, not failed).
-        self.outaged: set[int] = set()
-        self.roles = dict(roles or {})
-        self.encoder = SourceEncoder(
-            content, params, self.streams.get("encoder"), systematic_first=systematic
+        self.behavior = RlncBehavior(
+            content, params, self.streams, roles=roles, systematic=systematic
         )
-        self.generation_count = self.encoder.generation_count
-        self.slot = 0
-        self.link_stats = LinkStats()
-        self.server_packets = 0
-        #: When set, the server stops emitting at this slot (§6: "it may be
-        #: possible eventually for the server to disconnect itself
-        #: completely from the network after the content has been delivered
-        #: to a small fraction of the population").
-        self.server_detach_slot: Optional[int] = None
-        self._recoders: dict[int, Recoder] = {}
-        self._received: dict[int, int] = {}
-        self._innovative: dict[int, int] = {}
-        self._completed_at: dict[int, int] = {}
-        # Cached rng handles: stream identity depends only on (seed, name),
-        # so hoisting the f-string/dict lookups off the per-slot path is
-        # behaviour-neutral.
-        self._loss_rng = self.streams.get("loss")
-        self._jammer_rngs: dict[int, np.random.Generator] = {}
-        # Topology cache, keyed on the overlay's mutation epoch: the
-        # column chains and children maps only change when the matrix
-        # mutates, not every slot.
-        self._topo_epoch = -1
-        self._server_targets: list[int] = []
-        self._peer_children: list[tuple[int, list[int]]] = []
+        self.topology = CurtainTopology(net)
+        self.runtime = SlottedRuntime(
+            self.topology,
+            self.behavior,
+            streams=self.streams,
+            loss=loss,
+            outage=outage,
+            measured=self._honest_working_nodes,
+        )
 
-    # ------------------------------------------------------------------
+    # -- delegated state -----------------------------------------------
+
+    @property
+    def loss(self) -> LossModel:
+        return self.runtime.loss
+
+    @property
+    def outage(self) -> Optional[OutageModel]:
+        return self.runtime.outage
+
+    @property
+    def outaged(self) -> set[int]:
+        """Nodes currently in an ergodic outage (silent, not failed)."""
+        return self.runtime.outaged
+
+    @property
+    def roles(self) -> dict[int, NodeRole]:
+        return self.behavior.roles
+
+    @property
+    def encoder(self):
+        return self.behavior.encoder
+
+    @property
+    def generation_count(self) -> int:
+        return self.behavior.generation_count
+
+    @property
+    def slot(self) -> int:
+        return self.runtime.slot
+
+    @property
+    def link_stats(self) -> LinkStats:
+        return self.runtime.link_stats
+
+    @property
+    def server_packets(self) -> int:
+        return self.runtime.server_packets
+
+    @property
+    def server_detach_slot(self) -> Optional[int]:
+        return self.runtime.server_detach_slot
+
+    @server_detach_slot.setter
+    def server_detach_slot(self, value: Optional[int]) -> None:
+        self.runtime.server_detach_slot = value
+
+    @property
+    def _recoders(self) -> dict[int, Recoder]:
+        return self.behavior._recoders
+
+    @property
+    def _received(self) -> dict[int, int]:
+        return self.behavior._received
+
+    @property
+    def _innovative(self) -> dict[int, int]:
+        return self.behavior._innovative
+
+    @property
+    def _completed_at(self) -> dict[int, int]:
+        return self.behavior._completed_at
+
+    # -- behaviour pass-throughs ---------------------------------------
 
     def role_of(self, node_id: int) -> NodeRole:
-        return self.roles.get(node_id, NodeRole.HONEST)
+        return self.behavior.role_of(node_id)
 
     def recoder_of(self, node_id: int) -> Recoder:
         """The node's buffer/codec state, created on first contact."""
-        recoder = self._recoders.get(node_id)
-        if recoder is None:
-            recoder = Recoder(
-                self.params,
-                self.generation_count,
-                self.streams.get(f"node-{node_id}"),
-                node_id=node_id,
-            )
-            self._recoders[node_id] = recoder
-            self._received[node_id] = 0
-            self._innovative[node_id] = 0
-        return recoder
+        return self.behavior.recoder_of(node_id)
 
-    def _jammer_rng(self, node_id: int) -> np.random.Generator:
-        """Per-node jammer stream, cached off the per-emission path."""
-        rng = self._jammer_rngs.get(node_id)
-        if rng is None:
-            rng = self.streams.get(f"jammer-{node_id}")
-            self._jammer_rngs[node_id] = rng
-        return rng
-
-    def _jam_packet(self, node_id: int, generation: int) -> CodedPacket:
-        """A garbage packet: random coefficients over a random payload.
-
-        The coefficient header *claims* a valid combination, so honest
-        receivers cannot distinguish it — the §7 jamming scenario.
-        """
-        rng = self._jammer_rng(node_id)
-        coefficients = rng.integers(0, FIELD_SIZE, size=self.params.generation_size,
-                                    dtype=np.uint8)
-        if not coefficients.any():
-            coefficients[0] = 1
-        payload = rng.integers(0, FIELD_SIZE, size=self.params.payload_size,
-                               dtype=np.uint8)
-        return CodedPacket(generation=generation, coefficients=coefficients,
-                           payload=payload, origin=node_id)
-
-    def _refresh_topology(self) -> None:
-        """Rebuild the cached chains/children maps if the overlay mutated.
-
-        ``column_chain``/``children_of`` walk the per-column occupancy
-        lists; doing that every slot dominated the emit phase.  The cache
-        is keyed on the matrix's mutation epoch, so arbitrary churn
-        between slots is still picked up immediately.  Failures and
-        outages are *not* baked in — they are checked per slot, exactly
-        as before.
-        """
-        matrix = self.net.matrix
-        epoch = matrix.mutation_epoch
-        if epoch == self._topo_epoch:
-            return
-        self._topo_epoch = epoch
-        # Server: the first occupant of each non-empty column, in column
-        # order (columns hanging straight off the rod have no subscriber).
-        self._server_targets = []
-        for column in range(matrix.k):
-            chain = matrix.column_chain(column)
-            if chain:
-                self._server_targets.append(chain[0])
-        # Peers: each node's attached children, in the node and column
-        # order the uncached walk used.
-        self._peer_children = []
-        for node_id in matrix.node_ids:
-            children = [
-                child
-                for child in matrix.children_of(node_id).values()
-                if child is not None
-            ]
-            self._peer_children.append((node_id, children))
-
-    def _emissions(self) -> list[tuple[int, CodedPacket]]:
-        """Phase 1: compute every (destination, packet) for this slot."""
-        self._refresh_topology()
-        failed = self.net.server.failed
-        outaged = self.outaged
-        sends: list[tuple[int, CodedPacket]] = []
-        server_active = (
-            self.server_detach_slot is None or self.slot < self.server_detach_slot
-        )
-        # Server: one packet per column, to the column's first occupant.
-        if server_active:
-            for target in self._server_targets:
-                sends.append((target, self.encoder.emit()))
-            self.server_packets += len(self._server_targets)
-        # Peers: one mixture per attached outgoing thread.
-        for node_id, children in self._peer_children:
-            if not children or node_id in failed or node_id in outaged:
-                continue
-            recoder = self.recoder_of(node_id)
-            role = self.role_of(node_id)
-            if role is NodeRole.HONEST:
-                for child in children:
-                    packet = recoder.emit()
-                    if packet is not None:
-                        sends.append((child, packet))
-            elif role is NodeRole.JAMMER:
-                jam_rng = self._jammer_rng(node_id)
-                for child in children:
-                    generation = int(jam_rng.integers(0, self.generation_count))
-                    sends.append((child, self._jam_packet(node_id, generation)))
-            else:  # NodeRole.ENTROPY_ATTACKER
-                for child in children:
-                    packet = recoder.emit_trivial()
-                    if packet is not None:
-                        sends.append((child, packet))
-        return sends
+    # -- running --------------------------------------------------------
 
     def step(self) -> None:
         """Advance one slot (outage dynamics, emit phase, deliver phase)."""
-        if self.outage is not None:
-            self.outage.advance(
-                self.outaged, self.net.working_nodes, self.streams.get("outage")
-            )
-        sends = self._emissions()
-        failed = self.net.server.failed
-        outaged = self.outaged
-        # Loss draws are batched into one vectorised RNG call per slot.
-        # Only sends whose receiver is alive consume a draw — the same
-        # short-circuit (and therefore the same variate stream) as the
-        # historical per-send scalar path.
-        eligible = [
-            destination not in failed and destination not in outaged
-            for destination, _ in sends
-        ]
-        draws = self.loss.delivers_batch(self._loss_rng, sum(eligible))
-        delivered_count = 0
-        cursor = 0
-        for (destination, packet), alive in zip(sends, eligible):
-            if not alive:
-                continue
-            delivered = bool(draws[cursor])
-            cursor += 1
-            if not delivered:
-                continue
-            delivered_count += 1
-            recoder = self.recoder_of(destination)
-            was_innovative = recoder.receive(packet)
-            self._received[destination] += 1
-            if was_innovative:
-                self._innovative[destination] += 1
-                if (
-                    destination not in self._completed_at
-                    and recoder.decoder.is_complete
-                ):
-                    self._completed_at[destination] = self.slot
-        self.link_stats.record_batch(len(sends), delivered_count)
-        self.slot += 1
+        self.runtime.step()
 
     def detach_server(self, at_slot: Optional[int] = None) -> None:
         """Stop the server's emissions at ``at_slot`` (default: now).
@@ -335,103 +177,35 @@ class BroadcastSimulation:
         holds every degree of freedom (see :meth:`swarm_has_full_rank`),
         peers can finish the distribution among themselves.
         """
-        self.server_detach_slot = self.slot if at_slot is None else at_slot
+        self.runtime.detach_server(at_slot)
 
     def swarm_has_full_rank(self) -> bool:
-        """True if the working peers collectively hold all content DoF.
-
-        Checked per generation: the union of the working nodes' coefficient
-        bases must span the full generation space.  This is the §6
-        self-sustainability condition — once true, the server is
-        redundant (in a loss-free network).
-        """
-        from ..gf.linalg import rank as gf_rank
-
+        """True if the working peers collectively hold all content DoF."""
         failed = self.net.server.failed
-        for generation in range(self.generation_count):
-            rows = []
-            for node_id, recoder in self._recoders.items():
-                if node_id in failed or node_id not in self.net.matrix:
-                    continue
-                decoder = recoder.decoder.generations[generation]
-                if decoder.is_complete:
-                    rows = None  # someone already decodes: full rank
-                    break
-                if decoder.rank:
-                    rows.append(decoder.coefficient_rows())
-            if rows is None:
-                continue
-            if not rows:
-                return False
-            if gf_rank(np.concatenate(rows, axis=0)) < self.params.generation_size:
-                return False
-        return True
+        matrix = self.net.matrix
+        return self.behavior.swarm_has_full_rank(
+            include=lambda node_id: node_id not in failed and node_id in matrix
+        )
 
-    def run(self, slots: int) -> "BroadcastReport":
+    def run(self, slots: int) -> RunReport:
         """Run ``slots`` more slots and return the cumulative report."""
-        for _ in range(slots):
-            self.step()
-        return self.report()
+        return self.runtime.run(slots)
 
     def run_until_complete(
-        self, max_slots: int = 10_000, nodes: Optional[list[int]] = None
-    ) -> "BroadcastReport":
+        self, max_slots: int = DEFAULT_MAX_SLOTS, nodes: Optional[list[int]] = None
+    ) -> RunReport:
         """Run until every (given or working honest) node decodes.
 
         Stops at ``max_slots`` regardless; check ``completion_fraction``.
         """
-        while self.slot < max_slots:
-            targets = nodes if nodes is not None else self._honest_working_nodes()
-            if targets and all(t in self._completed_at for t in targets):
-                break
-            self.step()
-        return self.report(nodes)
+        return self.runtime.run_until_complete(max_slots, nodes)
 
     def _honest_working_nodes(self) -> list[int]:
         return [
             n for n in self.net.working_nodes
-            if self.role_of(n) is NodeRole.HONEST
+            if self.behavior.role_of(n) is NodeRole.HONEST
         ]
 
-    # ------------------------------------------------------------------
-
-    def report(self, nodes: Optional[list[int]] = None) -> BroadcastReport:
+    def report(self, nodes: Optional[list[int]] = None) -> RunReport:
         """Build the report for the given nodes (default: working honest)."""
-        targets = nodes if nodes is not None else self._honest_working_nodes()
-        reports = []
-        needed = self.generation_count * self.params.generation_size
-        for node_id in targets:
-            recoder = self._recoders.get(node_id)
-            if recoder is None:
-                reports.append(
-                    NodeReport(node_id=node_id, rank=0, needed=needed,
-                               completed_at=None, received=0, innovative=0,
-                               decoded_ok=None)
-                )
-                continue
-            decoded_ok: Optional[bool] = None
-            completed = self._completed_at.get(node_id)
-            if completed is not None:
-                try:
-                    decoded_ok = (
-                        recoder.decoder.recover(len(self.content)) == self.content
-                    )
-                except Exception:
-                    decoded_ok = False
-            reports.append(
-                NodeReport(
-                    node_id=node_id,
-                    rank=recoder.decoder.total_rank,
-                    needed=needed,
-                    completed_at=completed,
-                    received=self._received.get(node_id, 0),
-                    innovative=self._innovative.get(node_id, 0),
-                    decoded_ok=decoded_ok,
-                )
-            )
-        return BroadcastReport(
-            slots=self.slot,
-            nodes=reports,
-            link_stats=self.link_stats,
-            server_packets=self.server_packets,
-        )
+        return self.runtime.report(nodes)

@@ -7,22 +7,28 @@ mixtures derived (transitively) from its own emissions, which are simply
 non-innovative.  §6 predicts a small throughput loss from such cycles in
 exchange for logarithmic delay; the E6b ablation measures both on the
 same code path.
+
+Since the runtime unification this class is a thin adapter over
+:class:`~repro.sim.runtime.SlottedRuntime` with a
+:class:`~repro.sim.runtime.GraphTopology` edge view — the identical
+kernel the curtain and flooding simulators run on, which is what makes
+the §6 cyclic-vs-acyclic comparison apples-to-apples.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from ..coding.encoder import SourceEncoder
 from ..coding.generation import GenerationParams
 from ..coding.recoder import Recoder
-from ..core.matrix import SERVER
 from ..core.random_graph import RandomGraphOverlay
-from .broadcast import BroadcastReport, NodeReport
+from .behaviors import NodeRole, RlncBehavior
 from .links import LinkStats, LossModel
+from .report import RunReport
 from .rng import RngStreams
+from .runtime import DEFAULT_MAX_SLOTS, GraphTopology, SlottedRuntime
+
+__all__ = ["GraphBroadcastSimulation"]
 
 
 class GraphBroadcastSimulation:
@@ -32,6 +38,16 @@ class GraphBroadcastSimulation:
     packet when ``u`` is the server, otherwise a fresh mixture of ``u``'s
     buffer (nothing if the buffer is empty).  Unserved server slots
     (edges to ``None``) idle.
+
+    Args:
+        overlay: The §6 overlay (may be mutated between ``step`` calls).
+        content: Bytes the server broadcasts.
+        params: Generation geometry.
+        seed: Root seed for the simulation's random streams.
+        loss: Ergodic per-delivery loss model.
+        roles: Optional ``node_id -> NodeRole`` for attack experiments
+            (the unified runtime makes the §7 attacker roles available
+            on every topology).
     """
 
     def __init__(
@@ -41,139 +57,111 @@ class GraphBroadcastSimulation:
         params: GenerationParams,
         seed: Optional[int] = None,
         loss: Optional[LossModel] = None,
+        roles: Optional[dict[int, NodeRole]] = None,
     ) -> None:
         self.overlay = overlay
         self.content = content
         self.params = params
         self.streams = RngStreams(seed)
-        self.loss = loss or LossModel(0.0)
-        self.encoder = SourceEncoder(content, params, self.streams.get("encoder"))
-        self.generation_count = self.encoder.generation_count
-        self.slot = 0
-        self.link_stats = LinkStats()
-        self.server_packets = 0
-        #: §6 self-sustaining mode: slot after which the server is silent.
-        #: Unlike the acyclic curtain — where upstream nodes starve the
-        #: moment the rod stops — the cyclic random graph keeps circulating
-        #: information, so the swarm can finish among itself.
-        self.server_detach_slot: Optional[int] = None
-        self._recoders: dict[int, Recoder] = {}
-        self._received: dict[int, int] = {}
-        self._innovative: dict[int, int] = {}
-        self._completed_at: dict[int, int] = {}
+        self.behavior = RlncBehavior(content, params, self.streams, roles=roles)
+        self.topology = GraphTopology(overlay)
+        self.runtime = SlottedRuntime(
+            self.topology,
+            self.behavior,
+            streams=self.streams,
+            loss=loss,
+            measured=self._honest_nodes,
+        )
+
+    # -- delegated state -----------------------------------------------
+
+    @property
+    def loss(self) -> LossModel:
+        return self.runtime.loss
+
+    @property
+    def encoder(self):
+        return self.behavior.encoder
+
+    @property
+    def generation_count(self) -> int:
+        return self.behavior.generation_count
+
+    @property
+    def slot(self) -> int:
+        return self.runtime.slot
+
+    @property
+    def link_stats(self) -> LinkStats:
+        return self.runtime.link_stats
+
+    @property
+    def server_packets(self) -> int:
+        return self.runtime.server_packets
+
+    @property
+    def server_detach_slot(self) -> Optional[int]:
+        """§6 self-sustaining mode: slot after which the server is silent.
+
+        Unlike the acyclic curtain — where upstream nodes starve the
+        moment the rod stops — the cyclic random graph keeps circulating
+        information, so the swarm can finish among itself.
+        """
+        return self.runtime.server_detach_slot
+
+    @server_detach_slot.setter
+    def server_detach_slot(self, value: Optional[int]) -> None:
+        self.runtime.server_detach_slot = value
+
+    @property
+    def _recoders(self) -> dict[int, Recoder]:
+        return self.behavior._recoders
+
+    @property
+    def _received(self) -> dict[int, int]:
+        return self.behavior._received
+
+    @property
+    def _innovative(self) -> dict[int, int]:
+        return self.behavior._innovative
+
+    @property
+    def _completed_at(self) -> dict[int, int]:
+        return self.behavior._completed_at
+
+    # -- behaviour pass-throughs ---------------------------------------
 
     def recoder_of(self, node_id: int) -> Recoder:
-        recoder = self._recoders.get(node_id)
-        if recoder is None:
-            recoder = Recoder(
-                self.params, self.generation_count,
-                self.streams.get(f"node-{node_id}"), node_id=node_id,
-            )
-            self._recoders[node_id] = recoder
-            self._received[node_id] = 0
-            self._innovative[node_id] = 0
-        return recoder
+        return self.behavior.recoder_of(node_id)
+
+    def _honest_nodes(self) -> list[int]:
+        return [
+            n for n in sorted(self.overlay.nodes)
+            if self.behavior.role_of(n) is NodeRole.HONEST
+        ]
+
+    # -- running --------------------------------------------------------
 
     def step(self) -> None:
         """One slot: simultaneous emissions on every edge, then delivery."""
-        sends = []
-        server_active = (
-            self.server_detach_slot is None or self.slot < self.server_detach_slot
-        )
-        for u, v in self.overlay.edges:
-            if v is None:
-                continue  # unserved server slot
-            if u == SERVER:
-                if not server_active:
-                    continue
-                sends.append((v, self.encoder.emit()))
-                self.server_packets += 1
-            else:
-                packet = self.recoder_of(u).emit()
-                if packet is not None:
-                    sends.append((v, packet))
-        loss_rng = self.streams.get("loss")
-        for destination, packet in sends:
-            delivered = self.loss.delivers(loss_rng)
-            self.link_stats.record(delivered)
-            if not delivered:
-                continue
-            recoder = self.recoder_of(destination)
-            innovative = recoder.receive(packet)
-            self._received[destination] += 1
-            if innovative:
-                self._innovative[destination] += 1
-                if (
-                    destination not in self._completed_at
-                    and recoder.decoder.is_complete
-                ):
-                    self._completed_at[destination] = self.slot
-        self.slot += 1
+        self.runtime.step()
 
     def detach_server(self, at_slot: Optional[int] = None) -> None:
         """Silence the server from ``at_slot`` (default: now)."""
-        self.server_detach_slot = self.slot if at_slot is None else at_slot
+        self.runtime.detach_server(at_slot)
 
     def swarm_has_full_rank(self) -> bool:
         """True if the peers collectively hold every degree of freedom."""
-        from ..gf.linalg import rank as gf_rank
+        return self.behavior.swarm_has_full_rank()
 
-        for generation in range(self.generation_count):
-            rows = []
-            complete = False
-            for recoder in self._recoders.values():
-                decoder = recoder.decoder.generations[generation]
-                if decoder.is_complete:
-                    complete = True
-                    break
-                if decoder.rank:
-                    rows.append(decoder.coefficient_rows())
-            if complete:
-                continue
-            if not rows:
-                return False
-            if gf_rank(np.concatenate(rows, axis=0)) < self.params.generation_size:
-                return False
-        return True
+    def run(self, slots: int) -> RunReport:
+        """Run ``slots`` more slots and return the cumulative report."""
+        return self.runtime.run(slots)
 
-    def run_until_complete(self, max_slots: int = 5_000) -> BroadcastReport:
+    def run_until_complete(self, max_slots: int = DEFAULT_MAX_SLOTS) -> RunReport:
         """Run until every overlay node decodes (or the budget runs out)."""
-        while self.slot < max_slots:
-            targets = self.overlay.nodes
-            if targets and all(t in self._completed_at for t in targets):
-                break
-            self.step()
-        return self.report()
+        return self.runtime.run_until_complete(max_slots)
 
-    def report(self) -> BroadcastReport:
+    def report(self) -> RunReport:
         """Aggregate per-node statistics (same shape as the curtain sim)."""
-        needed = self.generation_count * self.params.generation_size
-        nodes = []
-        for node_id in sorted(self.overlay.nodes):
-            recoder = self._recoders.get(node_id)
-            completed = self._completed_at.get(node_id)
-            decoded_ok = None
-            if recoder is not None and completed is not None:
-                try:
-                    decoded_ok = (
-                        recoder.decoder.recover(len(self.content)) == self.content
-                    )
-                except Exception:
-                    decoded_ok = False
-            nodes.append(
-                NodeReport(
-                    node_id=node_id,
-                    rank=recoder.decoder.total_rank if recoder else 0,
-                    needed=needed,
-                    completed_at=completed,
-                    received=self._received.get(node_id, 0),
-                    innovative=self._innovative.get(node_id, 0),
-                    decoded_ok=decoded_ok,
-                )
-            )
-        return BroadcastReport(
-            slots=self.slot,
-            nodes=nodes,
-            link_stats=self.link_stats,
-            server_packets=self.server_packets,
-        )
+        return self.runtime.report()

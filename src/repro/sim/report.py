@@ -1,0 +1,168 @@
+"""Unified run reporting for every slotted data-plane simulator.
+
+All five simulators (curtain RLNC, random-graph RLNC, streaming playback,
+store-and-forward flooding, rarest-first) report through one
+:class:`RunReport`: a list of per-node :class:`NodeReport` rows plus link
+accounting, server load, and an optional per-slot timeline.  The summary
+helpers (completion percentiles, mean completion slot) live here once
+instead of being reimplemented per report type.
+
+For the uncoded baselines the RLNC vocabulary maps directly: *rank* is
+the number of distinct pieces buffered, *needed* is the piece count, and
+*innovative* is the number of deliveries that added a new piece —
+:class:`FloodingReport` is a derived view over those rows, kept for its
+historical field names (``mean_unique_fraction``, ``duplicate_fraction``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .links import LinkStats
+
+__all__ = [
+    "BroadcastReport",
+    "FloodingReport",
+    "NodeReport",
+    "RunReport",
+    "SlotRecord",
+    "completion_percentile",
+    "mean_completion_slot",
+]
+
+
+def mean_completion_slot(completion_slots: Sequence[int]) -> float:
+    """Mean slot at which finishing nodes completed (0.0 if none did)."""
+    if not completion_slots:
+        return 0.0
+    return float(np.mean(completion_slots))
+
+
+def completion_percentile(completion_slots: Sequence[int], q: float) -> float:
+    """The ``q``-th percentile completion slot (0.0 if none finished)."""
+    if not completion_slots:
+        return 0.0
+    return float(np.percentile(np.asarray(completion_slots), q))
+
+
+@dataclass
+class NodeReport:
+    """Per-node outcome of a slotted run.
+
+    Attributes:
+        node_id: The peer.
+        rank: Degrees of freedom collected (distinct pieces for the
+            uncoded baselines).
+        needed: Degrees of freedom required for full decode/collection.
+        completed_at: Slot at which the node completed (None if never).
+        received: Packets delivered to this node.
+        innovative: Of those, rank-increasing (piece-adding) ones.
+        decoded_ok: True if the node decoded *and* the content matched
+            the original bytes (False under jamming pollution; None for
+            incomplete nodes and for the uncoded baselines).
+    """
+
+    node_id: int
+    rank: int
+    needed: int
+    completed_at: Optional[int]
+    received: int
+    innovative: int
+    decoded_ok: Optional[bool]
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """One slot's delivery accounting (collected when timeline recording
+    is enabled on the runtime)."""
+
+    slot: int
+    attempted: int
+    delivered: int
+    completions: int
+
+
+@dataclass
+class RunReport:
+    """Aggregate outcome of a slotted run, shared by every simulator."""
+
+    slots: int
+    nodes: list[NodeReport]
+    link_stats: LinkStats
+    server_packets: int
+    timeline: list[SlotRecord] = field(default_factory=list)
+
+    @property
+    def completion_fraction(self) -> float:
+        """Fraction of measured nodes that fully completed."""
+        if not self.nodes:
+            return 0.0
+        return sum(1 for n in self.nodes if n.completed_at is not None) / len(self.nodes)
+
+    @property
+    def mean_goodput(self) -> float:
+        """Mean innovative packets per node per slot (units of bandwidth)."""
+        if not self.nodes or self.slots == 0:
+            return 0.0
+        return float(np.mean([n.innovative for n in self.nodes])) / self.slots
+
+    @property
+    def poisoned_fraction(self) -> float:
+        """Fraction of completed nodes whose decoded bytes were corrupt."""
+        completed = [n for n in self.nodes if n.completed_at is not None]
+        if not completed:
+            return 0.0
+        return sum(1 for n in completed if n.decoded_ok is False) / len(completed)
+
+    def completion_slots(self) -> list[int]:
+        """Completion times of the nodes that finished."""
+        return [n.completed_at for n in self.nodes if n.completed_at is not None]
+
+    def mean_completion_slot(self) -> float:
+        """Mean completion slot over the nodes that finished."""
+        return mean_completion_slot(self.completion_slots())
+
+    def completion_percentile(self, q: float) -> float:
+        """The ``q``-th percentile completion slot over finishers."""
+        return completion_percentile(self.completion_slots(), q)
+
+
+#: Historical name for the RLNC simulators' report; same object.
+BroadcastReport = RunReport
+
+
+@dataclass
+class FloodingReport:
+    """Outcome of an uncoded flooding run (derived view of a RunReport)."""
+
+    slots: int
+    completion_fraction: float
+    mean_unique_fraction: float
+    duplicate_fraction: float
+    completion_slots: list[int] = field(default_factory=list)
+
+    @classmethod
+    def from_run(cls, run: RunReport) -> "FloodingReport":
+        unique_fractions = [n.rank / n.needed for n in run.nodes]
+        duplicates = sum(max(0, n.received - n.innovative) for n in run.nodes)
+        received = sum(n.received for n in run.nodes)
+        return cls(
+            slots=run.slots,
+            completion_fraction=run.completion_fraction,
+            mean_unique_fraction=(
+                float(np.mean(unique_fractions)) if unique_fractions else 0.0
+            ),
+            duplicate_fraction=duplicates / received if received else 0.0,
+            completion_slots=run.completion_slots(),
+        )
+
+    def mean_completion_slot(self) -> float:
+        """Mean completion slot over the nodes that finished."""
+        return mean_completion_slot(self.completion_slots)
+
+    def completion_percentile(self, q: float) -> float:
+        """The ``q``-th percentile completion slot over finishers."""
+        return completion_percentile(self.completion_slots, q)

@@ -5,20 +5,31 @@ content, coding parameters, per-slot dynamics (failures, repairs, churn,
 losses, attackers) — and :func:`run_session` executes it, returning the
 data-plane report plus event accounting.  The examples and the E7/E11
 benches are thin wrappers over this.
+
+Since the runtime unification the per-interval dynamics (repair sweeps,
+failures, graceful leaves, joins) are a *slot hook* on the shared
+:class:`~repro.sim.runtime.SlottedRuntime`, so the same failure scenario
+drives any topology: ``topology="curtain"`` runs the thread-matrix
+overlay, ``topology="graph"`` the §6 edge-splitting overlay (which has
+no repair protocol — non-ergodic failures are a curtain-only concept).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..coding.generation import GenerationParams
 from ..core.overlay import OverlayNetwork
-from .broadcast import BroadcastReport, BroadcastSimulation, NodeRole
+from ..core.random_graph import RandomGraphOverlay
+from .behaviors import NodeRole
+from .broadcast import BroadcastReport, BroadcastSimulation
+from .graph_broadcast import GraphBroadcastSimulation
 from .links import LossModel
 from .rng import RngStreams
+from .runtime import SlottedRuntime
 
 
 @dataclass
@@ -34,9 +45,10 @@ class SessionConfig:
         payload_size: Bytes per packet.
         loss_rate: Ergodic per-delivery loss probability.
         fail_probability: Per-node, per-repair-interval probability of a
-            non-ergodic failure during the run.
-        repair_interval: Slots between repair sweeps (failures found in a
-            sweep are spliced out; 0 disables both failures and repairs).
+            non-ergodic failure during the run (curtain topology only).
+        repair_interval: Slots between dynamics sweeps (failures found in
+            a sweep are spliced out; 0 disables failures, repairs, and
+            churn).
         join_rate: Nodes joining per repair interval.
         leave_probability: Per-node graceful-leave probability per repair
             interval.
@@ -44,9 +56,12 @@ class SessionConfig:
             trivial combinations (§7).
         jammer_fraction: Fraction of initial nodes injecting garbage (§7).
         systematic: Server sends originals first.
-        insert_mode: Matrix row insertion mode ("append"/"uniform").
+        insert_mode: Matrix row insertion mode ("append"/"uniform",
+            curtain topology only).
         max_slots: Hard stop for the run.
         seed: Root seed.
+        topology: Overlay family — "curtain" (thread matrix, §3–§5) or
+            "graph" (§6 random edge-splitting overlay).
     """
 
     k: int
@@ -66,6 +81,7 @@ class SessionConfig:
     insert_mode: str = "append"
     max_slots: int = 5_000
     seed: Optional[int] = None
+    topology: str = "curtain"
 
 
 @dataclass
@@ -77,8 +93,8 @@ class SessionResult:
     repairs_performed: int
     joins: int
     graceful_leaves: int
-    net: OverlayNetwork = field(repr=False)
-    simulation: BroadcastSimulation = field(repr=False)
+    net: Union[OverlayNetwork, RandomGraphOverlay] = field(repr=False)
+    simulation: Union[BroadcastSimulation, GraphBroadcastSimulation] = field(repr=False)
     #: node id -> slot at which it joined (0 for the initial population)
     joined_at: dict[int, int] = field(default_factory=dict, repr=False)
 
@@ -120,67 +136,125 @@ def _assign_roles(
     return roles
 
 
+class _SessionDynamics:
+    """The per-interval churn/repair sweep, as a runtime slot hook.
+
+    Runs at the top of every ``repair_interval``-th slot: repair sweep
+    first (end of previous interval), then failure/leave rolls over the
+    working population, then joins.  Counters are read back into the
+    :class:`SessionResult` after the run.
+    """
+
+    def __init__(
+        self,
+        net: Union[OverlayNetwork, RandomGraphOverlay],
+        config: SessionConfig,
+        rng: np.random.Generator,
+        joined_at: dict[int, int],
+    ) -> None:
+        self.net = net
+        self.config = config
+        self.rng = rng
+        self.joined_at = joined_at
+        self.failures = 0
+        self.repairs = 0
+        self.joins = 0
+        self.leaves = 0
+        self._curtain = isinstance(net, OverlayNetwork)
+
+    def _working(self) -> list[int]:
+        if self._curtain:
+            return list(self.net.working_nodes)
+        return sorted(self.net.nodes)
+
+    def __call__(self, runtime: SlottedRuntime) -> None:
+        interval = self.config.repair_interval
+        if not interval or runtime.slot % interval != 0 or runtime.slot == 0:
+            return
+        net = self.net
+        if self._curtain:
+            # Repair sweep first (end of previous interval), then dynamics.
+            self.repairs += len(net.server.failed)
+            net.repair_all()
+        for node_id in self._working():
+            roll = self.rng.random()
+            if roll < self.config.fail_probability:
+                net.fail(node_id)
+                self.failures += 1
+            elif roll < self.config.fail_probability + self.config.leave_probability:
+                if net.population > 1:
+                    net.leave(node_id)
+                    self.leaves += 1
+        for _ in range(self.config.join_rate):
+            joined = net.join()
+            node_id = joined if isinstance(joined, int) else joined.node_id
+            self.joined_at[node_id] = runtime.slot
+            self.joins += 1
+
+
 def run_session(config: SessionConfig) -> SessionResult:
     """Build the overlay, run the broadcast with dynamics, report."""
     streams = RngStreams(config.seed)
-    net = OverlayNetwork(
-        k=config.k, d=config.d, seed=streams.get("overlay"),
-        insert_mode=config.insert_mode,
+    params = GenerationParams(
+        generation_size=config.generation_size, payload_size=config.payload_size
     )
-    initial = net.grow(config.population)
     content_rng = streams.get("content")
+
+    if config.topology == "curtain":
+        net: Union[OverlayNetwork, RandomGraphOverlay] = OverlayNetwork(
+            k=config.k, d=config.d, seed=streams.get("overlay"),
+            insert_mode=config.insert_mode,
+        )
+    elif config.topology == "graph":
+        if config.fail_probability:
+            raise ValueError(
+                "the §6 random-graph overlay has no fail/repair protocol; "
+                "non-ergodic failures require topology='curtain'"
+            )
+        net = RandomGraphOverlay(k=config.k, d=config.d,
+                                 seed=streams.get("overlay"))
+    else:
+        raise ValueError(f"unknown topology {config.topology!r}")
+
+    initial = net.grow(config.population)
     content = content_rng.integers(
         0, 256, size=config.content_size, dtype=np.uint8
     ).tobytes()
     roles = _assign_roles(initial, config, streams.get("roles"))
-    params = GenerationParams(
-        generation_size=config.generation_size, payload_size=config.payload_size
-    )
-    simulation = BroadcastSimulation(
-        net=net,
-        content=content,
-        params=params,
-        seed=config.seed,
-        loss=LossModel(config.loss_rate),
-        roles=roles,
-        systematic=config.systematic,
-    )
-    dynamics_rng = streams.get("dynamics")
-    failures = repairs = joins = leaves = 0
-    joined_at = {node_id: 0 for node_id in initial}
 
-    while simulation.slot < config.max_slots:
-        honest = simulation._honest_working_nodes()
-        if honest and all(
-            n in simulation._completed_at for n in honest
-        ):
-            break
-        interval = config.repair_interval
-        if interval and simulation.slot % interval == 0 and simulation.slot > 0:
-            # Repair sweep first (end of previous interval), then dynamics.
-            repairs += len(net.server.failed)
-            net.repair_all()
-            for node_id in list(net.working_nodes):
-                roll = dynamics_rng.random()
-                if roll < config.fail_probability:
-                    net.fail(node_id)
-                    failures += 1
-                elif roll < config.fail_probability + config.leave_probability:
-                    if net.population > 1:
-                        net.leave(node_id)
-                        leaves += 1
-            for _ in range(config.join_rate):
-                grant = net.join()
-                joined_at[grant.node_id] = simulation.slot
-                joins += 1
-        simulation.step()
+    if config.topology == "curtain":
+        simulation: Union[BroadcastSimulation, GraphBroadcastSimulation] = (
+            BroadcastSimulation(
+                net=net,
+                content=content,
+                params=params,
+                seed=config.seed,
+                loss=LossModel(config.loss_rate),
+                roles=roles,
+                systematic=config.systematic,
+            )
+        )
+    else:
+        simulation = GraphBroadcastSimulation(
+            net,
+            content,
+            params,
+            seed=config.seed,
+            loss=LossModel(config.loss_rate),
+            roles=roles,
+        )
+
+    joined_at = {node_id: 0 for node_id in initial}
+    dynamics = _SessionDynamics(net, config, streams.get("dynamics"), joined_at)
+    simulation.runtime.add_slot_hook(dynamics)
+    report = simulation.run_until_complete(max_slots=config.max_slots)
 
     return SessionResult(
-        report=simulation.report(),
-        failures_injected=failures,
-        repairs_performed=repairs,
-        joins=joins,
-        graceful_leaves=leaves,
+        report=report,
+        failures_injected=dynamics.failures,
+        repairs_performed=dynamics.repairs,
+        joins=dynamics.joins,
+        graceful_leaves=dynamics.leaves,
         net=net,
         simulation=simulation,
         joined_at=joined_at,

@@ -24,7 +24,7 @@ import numpy as np
 from ..analysis.defects import sampled_defect
 from ..core.membership import sequential_arrivals
 from ..core.overlay import OverlayNetwork
-from .drift import DriftParameters, drift, drift_roots
+from .drift import DriftParameters, drift_roots
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,5 @@
 """Unit tests for broadcast capacity analysis."""
 
-import pytest
 
 from repro.analysis import (
     broadcast_capacity,

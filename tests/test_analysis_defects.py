@@ -1,6 +1,5 @@
 """Unit tests for defect accounting (the Theorem 4 quantities)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -1,6 +1,5 @@
 """Unit tests for expansion, delay and statistics helpers."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

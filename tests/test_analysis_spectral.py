@@ -1,7 +1,6 @@
 """Unit tests for spectral expansion measurements."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import spectral_gap, symmetric_adjacency
 from repro.baselines import ChainOverlay

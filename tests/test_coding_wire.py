@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.coding import CodedPacket, GenerationParams, SourceEncoder
+from repro.coding import GenerationParams, SourceEncoder
 from repro.coding.wire import (
-    MAGIC,
     WireFormatError,
     decode_packet,
     encode_packet,

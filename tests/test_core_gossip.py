@@ -1,6 +1,5 @@
 """Unit tests for decentralised gossip joins."""
 
-import numpy as np
 import pytest
 
 from repro.core import GossipJoinProtocol, OverlayNetwork, selection_bias

@@ -1,6 +1,5 @@
 """Unit tests for the thread matrix M."""
 
-import numpy as np
 import pytest
 
 from repro.core import SERVER, AppendKeys, ThreadMatrix, UniformKeys

@@ -1,6 +1,5 @@
 """Unit tests for the §4 membership processes."""
 
-import numpy as np
 import pytest
 
 from repro.core import OverlayNetwork, churn_epochs, sequential_arrivals

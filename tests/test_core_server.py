@@ -1,6 +1,5 @@
 """Unit tests for the coordination server protocols."""
 
-import numpy as np
 import pytest
 
 from repro.core import SERVER, CoordinationServer, NodeStatus

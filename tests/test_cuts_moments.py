@@ -1,10 +1,8 @@
 """Unit tests for min-cut witnesses and loss-moment analytics."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import cut_mentions_failed_parents, min_cut
-from repro.core import OverlayNetwork
 from repro.theory import (
     binomial_loss_moments,
     binomial_loss_pmf,

@@ -1,7 +1,6 @@
 """Edge-branch tests: unusual states and boundary behaviours."""
 
 import numpy as np
-import pytest
 
 from repro.coding import GenerationParams
 from repro.core import OverlayNetwork, RandomGraphOverlay

@@ -6,7 +6,6 @@ where needed for test-suite speed.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

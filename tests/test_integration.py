@@ -1,14 +1,12 @@
 """Integration tests: whole-system scenarios crossing module boundaries."""
 
 import numpy as np
-import pytest
 
 from repro.coding import GenerationParams
 from repro.core import CongestionController, OverlayNetwork
 from repro.failures import IIDFailures, PoissonChurn, apply_failures
 from repro.sim import (
     BroadcastSimulation,
-    LossModel,
     SessionConfig,
     Simulator,
     run_session,

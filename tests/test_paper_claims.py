@@ -3,7 +3,6 @@ directly against the implementation (small-scale versions of the E1–E12
 benchmark experiments).
 """
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for the actor-level protocol simulation."""
 
-import numpy as np
 import pytest
 
 from repro.protocol_sim import (

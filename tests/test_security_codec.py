@@ -7,7 +7,6 @@ from repro.security import (
     HomomorphicHasher,
     PrimeDecoder,
     PrimeEncoder,
-    PrimePacket,
     PrimeRecoder,
     Q,
     VerifiedRelay,

@@ -1,7 +1,6 @@
 """Unit tests for the slotted packet-level broadcast simulation."""
 
 import numpy as np
-import pytest
 
 from repro.coding import GenerationParams
 from repro.core import OverlayNetwork

@@ -1,6 +1,5 @@
 """Unit tests for the closed-form Theorem 4/5 predictions."""
 
-import math
 
 import pytest
 

@@ -1,9 +1,6 @@
 """Unit tests for collapse dynamics (Theorem 5 machinery)."""
 
-import math
 
-import numpy as np
-import pytest
 
 from repro.theory import (
     mean_walk_collapse_time,

@@ -1,6 +1,5 @@
 """Unit tests for churn trace record/replay."""
 
-import numpy as np
 import pytest
 
 from repro.core import OverlayNetwork
