@@ -1,4 +1,4 @@
-"""Command-line interface: run scenarios and quick analyses.
+"""Command-line interface: run scenarios, live transport, quick analyses.
 
 Usage::
 
@@ -6,6 +6,9 @@ Usage::
     python -m repro.cli scenario file_download --population 40
     python -m repro.cli overlay --k 24 --d 3 --peers 200 --fail 5
     python -m repro.cli collapse --k 12 --d 2 --p 0.03 --runs 10
+    python -m repro.cli demo --peers 8 --kill 1
+    python -m repro.cli serve --port 9470 &
+    python -m repro.cli join --port 9470
 
 The CLI is a thin veneer over the library; everything it prints is
 reachable programmatically (see README quickstart).
@@ -14,6 +17,7 @@ reachable programmatically (see README quickstart).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 
 import numpy as np
@@ -102,6 +106,115 @@ def _cmd_compare(args: argparse.Namespace) -> int:
               f"mean slot {report.mean_completion_slot():.1f}  "
               f"p95 {report.completion_percentile(95):.0f}  last {last}")
     return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    """One-process live deployment: server + N peers over loopback TCP."""
+    from .net import LoopbackConfig, run_loopback_sync
+
+    config = LoopbackConfig(
+        peers=args.peers, k=args.k, d=args.d,
+        generation_size=args.g, payload_size=args.payload,
+        generations=args.generations, seed=args.seed,
+        insert_mode=args.insert_mode, deadline=args.deadline,
+        kill_peer=args.kill if args.kill >= 0 else None,
+    )
+    print(f"loopback demo: {config.peers} peers  k={config.k} d={config.d}  "
+          f"{config.generations} generations of "
+          f"g={config.generation_size}x{config.payload_size}B  "
+          f"insert={config.insert_mode}"
+          + (f"  killing peer #{args.kill} mid-run" if args.kill >= 0 else ""))
+    result = run_loopback_sync(config)
+    report = result.report
+    print(f"converged: {result.converged}  "
+          f"wall clock: {result.wall_clock:.2f}s  rounds: {report.slots}")
+    print(f"completion: {report.completion_fraction:.1%}  "
+          f"server packets: {report.server_packets}  "
+          f"link delivery: {report.link_stats.delivery_ratio:.3f} "
+          f"({result.drops} backpressure drops)")
+    print(f"repairs: {result.repairs}  reconnects: {result.reconnects}  "
+          f"complaints: {result.complaints}")
+    slots = report.completion_slots()
+    if slots:
+        print(f"decode rounds: min {min(slots)} "
+              f"median {sorted(slots)[len(slots) // 2]} max {max(slots)}")
+    bad = [n.node_id for n in report.nodes if n.decoded_ok is False]
+    print(f"corrupt decodes: {len(bad)}")
+    return 0 if result.converged and not bad else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a standalone coordination + source server."""
+    from .coding.generation import GenerationParams
+    from .net import ServerNode
+
+    params = GenerationParams(args.g, args.payload)
+    rng = np.random.default_rng(args.seed)
+    content = rng.integers(
+        0, 256, size=args.generations * params.generation_bytes, dtype=np.uint8
+    ).tobytes()
+
+    async def _run() -> int:
+        server = ServerNode(
+            content, params, k=args.k, d=args.d,
+            host=args.host, port=args.port, seed=args.seed,
+            insert_mode=args.insert_mode, send_interval=args.interval,
+        )
+        await server.start()
+        print(f"serving on {server.host}:{server.port}  k={args.k} d={args.d}  "
+              f"{args.generations} generations of g={args.g}x{args.payload}B")
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await server.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await server.stop()
+        print(f"served {server.stats.packets_sent} packets over "
+              f"{server.stats.rounds} rounds; joins={server.stats.joins} "
+              f"leaves={server.stats.leaves} repairs={server.stats.repairs}")
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    """Join a running server as one live peer; exit when decoded."""
+    from .net import PeerNode
+
+    async def _run() -> int:
+        done = asyncio.Event()
+        peer = PeerNode(args.host, args.port, seed=args.seed,
+                        on_complete=lambda _peer: done.set())
+        await peer.start()
+        print(f"joined as node {peer.node_id}: "
+              f"threads {sorted(peer.parents)}  listening on {peer.port}")
+        try:
+            await asyncio.wait_for(done.wait(), timeout=args.deadline)
+        except asyncio.TimeoutError:
+            pass
+        ok = peer.completed
+        print(f"rank {peer.rank}/{peer.needed}  "
+              f"received {peer.stats.received} "
+              f"(innovative {peer.stats.innovative})  "
+              f"reconnects {peer.stats.reconnects}")
+        if ok:
+            print(f"decoded {len(peer.recovered_content())} bytes")
+        if args.linger > 0:
+            # Keep forwarding to children after our own decode (a seed).
+            await asyncio.sleep(args.linger)
+        await peer.leave()
+        return 0 if ok else 1
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_overlay(args: argparse.Namespace) -> int:
@@ -197,6 +310,51 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--max-slots", type=int, default=600, dest="max_slots")
     compare.add_argument("--seed", type=int, default=0)
     compare.set_defaults(func=_cmd_compare)
+
+    demo = sub.add_parser(
+        "demo", help="live loopback deployment: server + N peers on real sockets"
+    )
+    demo.add_argument("--peers", type=int, default=8)
+    demo.add_argument("--k", type=int, default=4)
+    demo.add_argument("--d", type=int, default=2)
+    demo.add_argument("--g", type=int, default=16)
+    demo.add_argument("--payload", type=int, default=128)
+    demo.add_argument("--generations", type=int, default=3)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--insert-mode", choices=["append", "uniform"],
+                      default="append", dest="insert_mode")
+    demo.add_argument("--kill", type=int, default=-1, metavar="INDEX",
+                      help="kill this peer mid-run to exercise repair (-1 = off)")
+    demo.add_argument("--deadline", type=float, default=60.0,
+                      help="hard wall-clock limit in seconds")
+    demo.set_defaults(func=_cmd_demo)
+
+    serve = sub.add_parser("serve", help="run a live coordination + source server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--k", type=int, default=4)
+    serve.add_argument("--d", type=int, default=2)
+    serve.add_argument("--g", type=int, default=16)
+    serve.add_argument("--payload", type=int, default=128)
+    serve.add_argument("--generations", type=int, default=3)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--insert-mode", choices=["append", "uniform"],
+                       default="append", dest="insert_mode")
+    serve.add_argument("--interval", type=float, default=0.005,
+                       help="seconds between emission rounds")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="stop after this many seconds (0 = run forever)")
+    serve.set_defaults(func=_cmd_serve)
+
+    join = sub.add_parser("join", help="join a live server as one peer")
+    join.add_argument("--host", default="127.0.0.1")
+    join.add_argument("--port", type=int, required=True)
+    join.add_argument("--seed", type=int, default=0)
+    join.add_argument("--deadline", type=float, default=60.0,
+                      help="give up decoding after this many seconds")
+    join.add_argument("--linger", type=float, default=0.0,
+                      help="keep forwarding this long after decoding")
+    join.set_defaults(func=_cmd_join)
 
     overlay = sub.add_parser("overlay", help="build an overlay and report health")
     overlay.add_argument("--k", type=int, default=24)

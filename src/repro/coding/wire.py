@@ -5,7 +5,7 @@ Layout (big-endian), matching the practical-network-coding framing of
 
     offset  size  field
     0       2     magic (0x5243, "RC")
-    2       1     version (1)
+    2       1     version (1 or 2)
     3       1     flags (bit 0: systematic hint)
     4       4     generation index
     8       4     origin node id (two's complement; -1 = server)
@@ -13,6 +13,13 @@ Layout (big-endian), matching the practical-network-coding framing of
     14      2     payload size in bytes
     16      g     coefficients (GF(256), one byte each)
     16+g    n     payload bytes
+    16+g+n  4     CRC32 trailer (version 2 only)
+
+Version 2 appends a CRC32 of everything before the trailer, so a frame
+corrupted in transit (or mis-reassembled from TCP segments) fails loudly
+in :func:`decode_packet` instead of feeding garbage coefficients to the
+decoder.  Version 1 frames (no trailer) still decode, for compatibility
+with recorded traces.
 
 ``wire_size()`` on :class:`~repro.coding.packet.CodedPacket` counts an
 8-byte abstract header; the concrete format here spends 16 for
@@ -23,6 +30,8 @@ experiment (overheads are dominated by the coefficient vector).
 from __future__ import annotations
 
 import struct
+import zlib
+from typing import Optional
 
 import numpy as np
 
@@ -30,10 +39,13 @@ from .packet import CodedPacket
 
 #: Magic bytes identifying a coded-packet frame.
 MAGIC = 0x5243
-#: Current wire version.
-VERSION = 1
+#: Current wire version (CRC32 trailer).
+VERSION = 2
+#: Legacy wire version (no trailer).
+VERSION_1 = 1
 
 _HEADER = struct.Struct(">HBBIiHH")
+_TRAILER = struct.Struct(">I")
 
 #: Flag bit: the sender believes this is an unmixed source packet.
 FLAG_SYSTEMATIC = 0x01
@@ -43,38 +55,58 @@ class WireFormatError(ValueError):
     """Raised when a frame cannot be parsed."""
 
 
-def encode_packet(packet: CodedPacket) -> bytes:
-    """Serialise a packet to its wire frame."""
+def encode_packet(packet: CodedPacket, version: int = VERSION) -> bytes:
+    """Serialise a packet to its wire frame.
+
+    ``version=1`` emits the legacy trailer-less frame (trace replay and
+    cross-version tests); the default appends the CRC32 trailer.
+    """
+    if version not in (VERSION_1, VERSION):
+        raise WireFormatError(f"cannot encode version {version}")
     flags = FLAG_SYSTEMATIC if packet.is_systematic() else 0
     header = _HEADER.pack(
         MAGIC,
-        VERSION,
+        version,
         flags,
         packet.generation,
         packet.origin,
         packet.generation_size,
         packet.payload_size,
     )
-    return header + packet.coefficients.tobytes() + packet.payload.tobytes()
+    body = header + packet.coefficients.tobytes() + packet.payload.tobytes()
+    if version == VERSION_1:
+        return body
+    return body + _TRAILER.pack(zlib.crc32(body))
 
 
-def decode_packet(frame: bytes) -> CodedPacket:
-    """Parse a wire frame back into a packet.
+def _frame_length(version: int, g: int, n: int) -> int:
+    length = _HEADER.size + g + n
+    if version >= VERSION:
+        length += _TRAILER.size
+    return length
 
-    Raises :class:`WireFormatError` on truncation, bad magic or version.
-    """
-    if len(frame) < _HEADER.size:
-        raise WireFormatError(f"frame too short: {len(frame)} bytes")
+
+def _parse_header(frame: bytes) -> tuple[int, int, int, int, int]:
+    """Validate magic/version; return (version, generation, origin, g, n)."""
     magic, version, _flags, generation, origin, g, n = _HEADER.unpack_from(frame)
     if magic != MAGIC:
         raise WireFormatError(f"bad magic 0x{magic:04x}")
-    if version != VERSION:
+    if version not in (VERSION_1, VERSION):
         raise WireFormatError(f"unsupported version {version}")
-    expected = _HEADER.size + g + n
-    if len(frame) != expected:
-        raise WireFormatError(
-            f"length mismatch: header promises {expected}, frame has {len(frame)}"
+    return version, generation, origin, g, n
+
+
+def _decode_body(frame: bytes, version: int, generation: int, origin: int,
+                 g: int, n: int) -> CodedPacket:
+    """Build a packet from an exact-length, header-validated frame."""
+    if version == VERSION:
+        body, (crc,) = frame[: -_TRAILER.size], _TRAILER.unpack_from(
+            frame, len(frame) - _TRAILER.size
         )
+        if zlib.crc32(body) != crc:
+            raise WireFormatError(
+                f"CRC mismatch: trailer 0x{crc:08x}, body 0x{zlib.crc32(body):08x}"
+            )
     coefficients = np.frombuffer(frame, dtype=np.uint8,
                                  count=g, offset=_HEADER.size).copy()
     payload = np.frombuffer(frame, dtype=np.uint8,
@@ -87,6 +119,46 @@ def decode_packet(frame: bytes) -> CodedPacket:
     )
 
 
-def frame_size(generation_size: int, payload_size: int) -> int:
+def decode_packet(frame: bytes) -> CodedPacket:
+    """Parse a wire frame back into a packet.
+
+    Accepts both version 2 (CRC32 trailer, verified) and legacy
+    version 1 frames.  Raises :class:`WireFormatError` on truncation,
+    bad magic, unknown version, or checksum mismatch.
+    """
+    if len(frame) < _HEADER.size:
+        raise WireFormatError(f"frame too short: {len(frame)} bytes")
+    version, generation, origin, g, n = _parse_header(frame)
+    expected = _frame_length(version, g, n)
+    if len(frame) != expected:
+        raise WireFormatError(
+            f"length mismatch: header promises {expected}, frame has {len(frame)}"
+        )
+    return _decode_body(frame, version, generation, origin, g, n)
+
+
+def read_frame(buffer: bytes) -> tuple[Optional[CodedPacket], bytes]:
+    """Streaming decode: consume one frame from the front of ``buffer``.
+
+    Returns ``(packet, rest)`` when a complete frame is present, or
+    ``(None, buffer)`` when more bytes are needed — the contract a
+    socket reader wants, since TCP guarantees nothing about message
+    boundaries.  Malformed data (bad magic/version, CRC mismatch)
+    raises :class:`WireFormatError`; a well-formed prefix never does.
+    """
+    if len(buffer) < _HEADER.size:
+        return None, buffer
+    version, generation, origin, g, n = _parse_header(buffer)
+    total = _frame_length(version, g, n)
+    if len(buffer) < total:
+        return None, buffer
+    packet = _decode_body(buffer[:total], version, generation, origin, g, n)
+    return packet, buffer[total:]
+
+
+def frame_size(generation_size: int, payload_size: int,
+               version: int = VERSION) -> int:
     """Bytes on the wire for the given geometry."""
-    return _HEADER.size + generation_size + payload_size
+    if version not in (VERSION_1, VERSION):
+        raise WireFormatError(f"unknown version {version}")
+    return _frame_length(version, generation_size, payload_size)

@@ -1,0 +1,61 @@
+"""repro.net — the curtain-rod protocol over real sockets.
+
+Where :mod:`repro.protocol_sim` runs the §3 protocols inside a
+discrete-event engine and :mod:`repro.sim` runs the data plane in
+synchronous slots, this package runs both on asyncio TCP: a
+:class:`ServerNode` owning the thread matrix and the source stream, and
+:class:`PeerNode` instances that clip threads, recode with the shared
+:mod:`repro.coding` machinery, and forward through bounded per-child
+queues.  :func:`run_loopback` deploys a whole session in one process
+and reports through the simulators' :class:`~repro.sim.report.RunReport`.
+"""
+
+from .control import (
+    ControlFormatError,
+    DataHello,
+    PeerLocator,
+    SessionInfo,
+    decode_control,
+    encode_control,
+)
+from .framing import (
+    FrameBuffer,
+    FramingError,
+    KIND_CONTROL,
+    KIND_DATA,
+    encode_frame,
+    read_message,
+    send_control,
+    send_packet,
+)
+from .loopback import LoopbackConfig, LoopbackResult, run_loopback, run_loopback_sync
+from .peer import PeerNode, PeerStats
+from .server import ServerNode, ServerStats
+from .streams import PacketSender, SenderStats
+
+__all__ = [
+    "ControlFormatError",
+    "DataHello",
+    "FrameBuffer",
+    "FramingError",
+    "KIND_CONTROL",
+    "KIND_DATA",
+    "LoopbackConfig",
+    "LoopbackResult",
+    "PacketSender",
+    "PeerLocator",
+    "PeerNode",
+    "PeerStats",
+    "SenderStats",
+    "ServerNode",
+    "ServerStats",
+    "SessionInfo",
+    "decode_control",
+    "encode_control",
+    "encode_frame",
+    "read_message",
+    "run_loopback",
+    "run_loopback_sync",
+    "send_control",
+    "send_packet",
+]

@@ -1,0 +1,189 @@
+"""Binary serialisation for the control plane.
+
+The live transport reuses the §3 protocol datagrams defined in
+:mod:`repro.protocol_sim.messages` — the same dataclasses the
+discrete-event simulation exchanges in memory — and gives each a
+compact big-endian wire form: one type byte followed by struct-packed
+fields.  The nominal ``size`` attributes on the dataclasses are
+simulation bookkeeping and are not serialised; decoding restores the
+defaults.
+
+Three messages exist only on the live transport:
+
+* :class:`SessionInfo` — server -> joiner: the coding geometry and
+  content length, so a peer can build a matching decoder before the
+  first data frame arrives.
+* :class:`PeerLocator` — server -> peer: the transport address of
+  another peer (the matrix stores ids; sockets need host:port).  Sent
+  ahead of any grant or redirect that names a peer.
+* :class:`DataHello` — child -> parent, first frame on a data
+  connection: "I am node ``node_id``; stream me column ``column``".
+  Downstream nodes dial upstream, which makes reconnect-after-repair a
+  pure child-side retry loop.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..protocol_sim.messages import (
+    AttachChild,
+    ComplaintMsg,
+    CongestionDrop,
+    CongestionRestore,
+    DetachChild,
+    JoinGrant,
+    JoinRequest,
+    KeepAlive,
+    LeaveRequest,
+    Probe,
+    ProbeAck,
+    SetParent,
+    ThreadRemoved,
+)
+
+__all__ = [
+    "ControlFormatError",
+    "DataHello",
+    "PeerLocator",
+    "SessionInfo",
+    "decode_control",
+    "encode_control",
+]
+
+
+class ControlFormatError(ValueError):
+    """Raised when a control frame cannot be parsed."""
+
+
+# ----------------------------------------------------------------------
+# Net-only messages
+
+
+@dataclass(frozen=True)
+class SessionInfo:
+    """Server -> joiner: session coding geometry (precedes the grant)."""
+
+    generation_size: int
+    payload_size: int
+    generation_count: int
+    content_length: int
+    k: int
+    d: int
+
+
+@dataclass(frozen=True)
+class PeerLocator:
+    """Server -> peer: where ``node_id`` listens for data connections."""
+
+    node_id: int
+    host: str
+    port: int
+
+
+@dataclass(frozen=True)
+class DataHello:
+    """Child -> parent: first frame of a data connection."""
+
+    node_id: int
+    column: int
+
+
+# ----------------------------------------------------------------------
+# Codec registry: message class -> (type byte, struct, field names)
+
+_SIMPLE: dict[type, tuple[int, struct.Struct, tuple[str, ...]]] = {
+    JoinRequest: (0x01, struct.Struct(">i"), ("reply_to",)),
+    LeaveRequest: (0x02, struct.Struct(">i"), ("node_id",)),
+    AttachChild: (0x03, struct.Struct(">Hi"), ("column", "child")),
+    DetachChild: (0x04, struct.Struct(">H"), ("column",)),
+    SetParent: (0x05, struct.Struct(">Hi"), ("column", "parent")),
+    KeepAlive: (0x06, struct.Struct(">Hi"), ("column", "sender")),
+    CongestionDrop: (0x07, struct.Struct(">i"), ("node_id",)),
+    CongestionRestore: (0x08, struct.Struct(">i"), ("node_id",)),
+    ThreadRemoved: (0x09, struct.Struct(">H"), ("column",)),
+    ComplaintMsg: (0x0A, struct.Struct(">iHi"), ("reporter", "column", "suspect")),
+    Probe: (0x0B, struct.Struct(">Q"), ("nonce",)),
+    ProbeAck: (0x0C, struct.Struct(">iQ"), ("node_id", "nonce")),
+    SessionInfo: (
+        0x10,
+        struct.Struct(">HHIQHH"),
+        ("generation_size", "payload_size", "generation_count",
+         "content_length", "k", "d"),
+    ),
+    DataHello: (0x12, struct.Struct(">iH"), ("node_id", "column")),
+}
+
+_TYPE_JOIN_GRANT = 0x0D
+_TYPE_PEER_LOCATOR = 0x11
+
+_BY_TYPE = {type_byte: (cls, fmt, fields)
+            for cls, (type_byte, fmt, fields) in _SIMPLE.items()}
+
+_GRANT_HEADER = struct.Struct(">iH")
+_GRANT_PAIR = struct.Struct(">Hi")
+_LOCATOR_HEADER = struct.Struct(">iHB")
+
+
+def encode_control(message: object) -> bytes:
+    """Serialise a control message: one type byte + packed fields."""
+    entry = _SIMPLE.get(type(message))
+    if entry is not None:
+        type_byte, fmt, fields = entry
+        values = tuple(getattr(message, name) for name in fields)
+        return bytes([type_byte]) + fmt.pack(*values)
+    if isinstance(message, JoinGrant):
+        body = _GRANT_HEADER.pack(message.node_id, len(message.assignments))
+        for column, parent in message.assignments:
+            body += _GRANT_PAIR.pack(column, parent)
+        return bytes([_TYPE_JOIN_GRANT]) + body
+    if isinstance(message, PeerLocator):
+        host = message.host.encode("utf-8")
+        if len(host) > 255:
+            raise ControlFormatError(f"host too long: {len(host)} bytes")
+        return (bytes([_TYPE_PEER_LOCATOR])
+                + _LOCATOR_HEADER.pack(message.node_id, message.port, len(host))
+                + host)
+    raise ControlFormatError(f"unknown control message {type(message).__name__}")
+
+
+def decode_control(data: bytes) -> object:
+    """Parse a control frame back into its message dataclass."""
+    if not data:
+        raise ControlFormatError("empty control frame")
+    type_byte, body = data[0], data[1:]
+    entry = _BY_TYPE.get(type_byte)
+    try:
+        if entry is not None:
+            cls, fmt, fields = entry
+            if len(body) != fmt.size:
+                raise ControlFormatError(
+                    f"{cls.__name__}: expected {fmt.size} body bytes, got {len(body)}"
+                )
+            return cls(**dict(zip(fields, fmt.unpack(body))))
+        if type_byte == _TYPE_JOIN_GRANT:
+            node_id, count = _GRANT_HEADER.unpack_from(body)
+            expected = _GRANT_HEADER.size + count * _GRANT_PAIR.size
+            if len(body) != expected:
+                raise ControlFormatError(
+                    f"JoinGrant: expected {expected} body bytes, got {len(body)}"
+                )
+            assignments = tuple(
+                _GRANT_PAIR.unpack_from(body, _GRANT_HEADER.size + i * _GRANT_PAIR.size)
+                for i in range(count)
+            )
+            return JoinGrant(node_id=node_id, assignments=assignments)
+        if type_byte == _TYPE_PEER_LOCATOR:
+            node_id, port, host_len = _LOCATOR_HEADER.unpack_from(body)
+            host = body[_LOCATOR_HEADER.size:]
+            if len(host) != host_len:
+                raise ControlFormatError(
+                    f"PeerLocator: expected {host_len} host bytes, got {len(host)}"
+                )
+            return PeerLocator(node_id=node_id, host=host.decode("utf-8"), port=port)
+    except struct.error as exc:
+        raise ControlFormatError(str(exc)) from exc
+    except UnicodeDecodeError as exc:
+        raise ControlFormatError(str(exc)) from exc
+    raise ControlFormatError(f"unknown control type 0x{type_byte:02x}")

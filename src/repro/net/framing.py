@@ -1,0 +1,170 @@
+"""Length-prefixed TCP framing for the live transport.
+
+Every frame on a connection is::
+
+    uint32  body length (big-endian)
+    uint8   kind (0 = data, 1 = control)
+    bytes   body
+
+Data bodies are exactly the coded-packet wire frames of
+:mod:`repro.coding.wire` (version 2, CRC32-trailed), so a captured
+stream is a concatenation of the same frames the simulators serialise.
+Control bodies are :mod:`repro.net.control` messages.
+
+Two consumption styles are provided:
+
+* :class:`FrameBuffer` — a sans-IO accumulator (``feed`` bytes, iterate
+  complete messages) used by tests and by any custom reader;
+* ``read_message`` / ``send_packet`` / ``send_control`` — asyncio
+  stream helpers used by the server and peer nodes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Iterator, Optional, Union
+
+from ..coding.packet import CodedPacket
+from ..coding.wire import WireFormatError, decode_packet, encode_packet
+from .control import ControlFormatError, decode_control, encode_control
+
+__all__ = [
+    "FrameBuffer",
+    "FramingError",
+    "KIND_CONTROL",
+    "KIND_DATA",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "read_message",
+    "send_control",
+    "send_packet",
+]
+
+#: Frame kinds.
+KIND_DATA = 0
+KIND_CONTROL = 1
+
+#: Upper bound on a frame body; anything larger is treated as stream
+#: corruption (the largest legitimate data frame is a little over
+#: 128 KiB: 64 KiB of coefficients + 64 KiB of payload + header).
+MAX_FRAME_BYTES = 1 << 20
+
+_PREFIX = struct.Struct(">IB")
+
+#: A parsed message off the stream.
+Message = Union[CodedPacket, object]
+
+
+class FramingError(ConnectionError):
+    """Raised when a stream violates the framing contract."""
+
+
+def encode_frame(kind: int, body: bytes) -> bytes:
+    """Prefix a body with its length and kind."""
+    if kind not in (KIND_DATA, KIND_CONTROL):
+        raise FramingError(f"unknown frame kind {kind}")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FramingError(f"frame body too large: {len(body)} bytes")
+    return _PREFIX.pack(len(body), kind) + body
+
+
+def _parse_body(kind: int, body: bytes) -> Message:
+    try:
+        if kind == KIND_DATA:
+            return decode_packet(body)
+        if kind == KIND_CONTROL:
+            return decode_control(body)
+    except (WireFormatError, ControlFormatError) as exc:
+        raise FramingError(f"bad frame body: {exc}") from exc
+    raise FramingError(f"unknown frame kind {kind}")
+
+
+class FrameBuffer:
+    """Sans-IO reassembly of frames from an arbitrary byte stream.
+
+    Feed it whatever chunks the socket hands you; iterate the complete
+    messages.  Raises :class:`FramingError` on protocol violations, at
+    which point the connection should be dropped.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        """Append raw bytes received from the stream."""
+        self._buffer.extend(data)
+
+    def pending(self) -> int:
+        """Bytes buffered but not yet consumed."""
+        return len(self._buffer)
+
+    def messages(self) -> Iterator[Message]:
+        """Yield every complete message currently buffered."""
+        while True:
+            message = self.next_message()
+            if message is None:
+                return
+            yield message
+
+    def next_message(self) -> Optional[Message]:
+        """Pop one complete message, or None if more bytes are needed."""
+        if len(self._buffer) < _PREFIX.size:
+            return None
+        length, kind = _PREFIX.unpack_from(self._buffer)
+        if length > MAX_FRAME_BYTES:
+            raise FramingError(f"frame body too large: {length} bytes")
+        total = _PREFIX.size + length
+        if len(self._buffer) < total:
+            return None
+        body = bytes(self._buffer[_PREFIX.size:total])
+        del self._buffer[:total]
+        return _parse_body(kind, body)
+
+
+# ----------------------------------------------------------------------
+# asyncio stream helpers
+
+
+async def read_message(reader: asyncio.StreamReader) -> Optional[Message]:
+    """Read one message off a stream; None on clean EOF at a boundary.
+
+    Raises :class:`FramingError` on truncation mid-frame or a malformed
+    body.
+    """
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise FramingError("stream truncated inside a frame prefix") from exc
+    length, kind = _PREFIX.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise FramingError(f"frame body too large: {length} bytes")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FramingError("stream truncated inside a frame body") from exc
+    return _parse_body(kind, body)
+
+
+def write_packet_nowait(writer: asyncio.StreamWriter, packet: CodedPacket) -> None:
+    """Queue a data frame on the writer without draining."""
+    writer.write(encode_frame(KIND_DATA, encode_packet(packet)))
+
+
+def write_control_nowait(writer: asyncio.StreamWriter, message: object) -> None:
+    """Queue a control frame on the writer without draining."""
+    writer.write(encode_frame(KIND_CONTROL, encode_control(message)))
+
+
+async def send_packet(writer: asyncio.StreamWriter, packet: CodedPacket) -> None:
+    """Write one data frame and drain."""
+    write_packet_nowait(writer, packet)
+    await writer.drain()
+
+
+async def send_control(writer: asyncio.StreamWriter, message: object) -> None:
+    """Write one control frame and drain."""
+    write_control_nowait(writer, message)
+    await writer.drain()

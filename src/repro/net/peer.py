@@ -1,0 +1,429 @@
+"""A live peer: clip, recode, forward — over real sockets.
+
+:class:`PeerNode` is the deployable counterpart of the simulators' node
+behaviours.  It joins through the server's hello protocol, dials one
+upstream *data* connection per assigned thread, feeds everything it
+receives into the shared :class:`~repro.coding.recoder.Recoder`, and
+fans fresh random mixtures out to the children that dial it — each
+child behind a bounded drop-oldest queue (see
+:mod:`repro.net.streams`).
+
+Robustness model, mirroring §3/§5 on a real event loop:
+
+* an upstream connection that drops or falls silent for
+  ``silence_timeout`` triggers a ``ComplaintMsg`` to the server and a
+  reconnect loop with exponential backoff;
+* a ``SetParent`` push from the server (repair, uniform-insert splice,
+  or graceful leave upstream) re-clips the thread: the old upstream
+  task is cancelled and a new one dials the new parent — the live
+  Lemma 1 repair;
+* losing the *server* stops membership repair but not the data plane:
+  established peer connections keep streaming (the §6 observation that
+  swarms outlive the server).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..coding.generation import GenerationParams
+from ..coding.packet import CodedPacket
+from ..coding.recoder import Recoder
+from ..core.matrix import SERVER
+from ..protocol_sim.messages import (
+    AttachChild,
+    ComplaintMsg,
+    DetachChild,
+    JoinGrant,
+    JoinRequest,
+    KeepAlive,
+    LeaveRequest,
+    Probe,
+    ProbeAck,
+    SetParent,
+    ThreadRemoved,
+)
+from .control import DataHello, PeerLocator, SessionInfo
+from .framing import FramingError, read_message, send_control, write_control_nowait
+from .streams import PacketSender, SenderStats
+
+__all__ = ["PeerNode", "PeerStats"]
+
+
+@dataclass
+class PeerStats:
+    """Counters the loopback harness folds into its RunReport."""
+
+    received: int = 0
+    innovative: int = 0
+    forwarded: int = 0
+    reconnects: int = 0
+    complaints: int = 0
+    keepalives_seen: int = 0
+
+
+class PeerNode:
+    """One live peer of the curtain-rod overlay.
+
+    Args:
+        server_host, server_port: The coordination server.
+        host: Address to listen on for child data connections.
+        seed: Seeds this peer's coding randomness.
+        queue_limit: Bound of each child's outbound queue.
+        keepalive_interval: Idle keep-alive period toward children.
+        silence_timeout: Upstream silence treated as a dead thread.
+        reconnect_base, reconnect_max: Exponential backoff bounds for
+            upstream redials.
+        on_complete: Callback invoked once, when every generation
+            decodes.
+    """
+
+    def __init__(
+        self,
+        server_host: str,
+        server_port: int,
+        *,
+        host: str = "127.0.0.1",
+        seed: int = 0,
+        queue_limit: int = 32,
+        keepalive_interval: float = 0.25,
+        silence_timeout: float = 1.0,
+        reconnect_base: float = 0.05,
+        reconnect_max: float = 2.0,
+        on_complete: Optional[Callable[["PeerNode"], None]] = None,
+    ) -> None:
+        self.server_host = server_host
+        self.server_port = server_port
+        self.host = host
+        self.port = 0
+        self.node_id: Optional[int] = None
+        self.queue_limit = queue_limit
+        self.keepalive_interval = keepalive_interval
+        self.silence_timeout = silence_timeout
+        self.reconnect_base = reconnect_base
+        self.reconnect_max = reconnect_max
+        self.on_complete = on_complete
+        self.stats = PeerStats()
+        self.completed = False
+        self.server_lost = False
+        self.recoder: Optional[Recoder] = None
+        self.session: Optional[SessionInfo] = None
+        self._rng = np.random.default_rng(seed)
+        #: column -> upstream node id (SERVER for the chain top)
+        self.parents: dict[int, int] = {}
+        #: node id -> (host, port), learned from PeerLocator pushes
+        self._addresses: dict[int, tuple[str, int]] = {}
+        #: (child id, column) -> outbound pump
+        self._children: dict[tuple[int, int], PacketSender] = {}
+        #: One entry per child connection ever served (stats outlive pumps).
+        self.sender_stats: list[SenderStats] = []
+        self._thread_tasks: dict[int, asyncio.Task] = {}
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._control_writer: Optional[asyncio.StreamWriter] = None
+        self._control_task: Optional[asyncio.Task] = None
+        self._complained: set[int] = set()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> None:
+        """Listen, join through the server, and clip every thread."""
+        self._listener = await asyncio.start_server(
+            self._handle_child, self.host, 0
+        )
+        self.port = self._listener.sockets[0].getsockname()[1]
+        self._running = True
+        reader, writer = await asyncio.open_connection(
+            self.server_host, self.server_port
+        )
+        self._control_writer = writer
+        await send_control(writer, JoinRequest(reply_to=self.port))
+        grant = await self._await_grant(reader)
+        self.node_id = grant.node_id
+        self.recoder = Recoder(
+            GenerationParams(self.session.generation_size,
+                             self.session.payload_size),
+            self.session.generation_count,
+            self._rng,
+            node_id=grant.node_id,
+        )
+        for column, parent in grant.assignments:
+            self.parents[column] = parent
+        self._control_task = asyncio.ensure_future(self._control_loop(reader))
+        for column in self.parents:
+            self._restart_thread(column)
+
+    async def _await_grant(self, reader: asyncio.StreamReader) -> JoinGrant:
+        """Consume the admission sequence: SessionInfo, locators, grant."""
+        while True:
+            message = await read_message(reader)
+            if message is None:
+                raise ConnectionError("server closed during admission")
+            if isinstance(message, SessionInfo):
+                self.session = message
+            elif isinstance(message, PeerLocator):
+                self._addresses[message.node_id] = (message.host, message.port)
+            elif isinstance(message, JoinGrant):
+                if self.session is None:
+                    raise FramingError("grant arrived before session info")
+                return message
+
+    async def leave(self) -> None:
+        """Graceful good-bye, then tear everything down."""
+        if self._control_writer is not None and not self.server_lost:
+            try:
+                await send_control(
+                    self._control_writer,
+                    LeaveRequest(node_id=self.node_id),
+                )
+            except (ConnectionError, OSError):
+                pass
+        await self.close()
+
+    async def close(self) -> None:
+        """Stop all tasks and close all transports (no good-bye)."""
+        self._running = False
+        pending = list(self._thread_tasks.values())
+        if self._control_task is not None:
+            pending.append(self._control_task)
+        for task in pending:
+            task.cancel()
+        self._thread_tasks.clear()
+        for sender in list(self._children.values()):
+            sender.close()
+        self._children.clear()
+        if self._control_writer is not None:
+            self._control_writer.close()
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    def kill(self) -> None:
+        """Abrupt, silent death — the failure the repair protocol exists
+        for.  Closes every transport without a good-bye or any awaiting."""
+        self._running = False
+        for task in list(self._thread_tasks.values()):
+            task.cancel()
+        self._thread_tasks.clear()
+        if self._control_task is not None:
+            self._control_task.cancel()
+        for sender in list(self._children.values()):
+            sender.close()
+        self._children.clear()
+        if self._control_writer is not None:
+            self._control_writer.close()
+        if self._listener is not None:
+            self._listener.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def rank(self) -> int:
+        """Degrees of freedom collected so far."""
+        return self.recoder.decoder.total_rank if self.recoder else 0
+
+    @property
+    def needed(self) -> int:
+        """Degrees of freedom required for a full decode."""
+        return self.recoder.decoder.total_dof if self.recoder else 0
+
+    def recovered_content(self) -> bytes:
+        """The decoded bytes; requires completeness."""
+        if self.recoder is None or not self.recoder.decoder.is_complete:
+            raise RuntimeError("content not fully decoded yet")
+        return self.recoder.decoder.recover(self.session.content_length)
+
+    # ------------------------------------------------------------------
+    # Control plane
+
+    async def _control_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while self._running:
+                message = await read_message(reader)
+                if message is None:
+                    break
+                self._dispatch_control(message)
+        except (FramingError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            return
+        # The server is gone.  Keep the data plane alive (§6): existing
+        # upstream connections and children continue, but there is no
+        # more membership repair.
+        self.server_lost = True
+
+    def _dispatch_control(self, message: object) -> None:
+        if isinstance(message, PeerLocator):
+            self._addresses[message.node_id] = (message.host, message.port)
+        elif isinstance(message, SetParent):
+            self.parents[message.column] = message.parent
+            self._complained.discard(message.column)
+            self._restart_thread(message.column)
+        elif isinstance(message, ThreadRemoved):
+            self.parents.pop(message.column, None)
+            task = self._thread_tasks.pop(message.column, None)
+            if task is not None:
+                task.cancel()
+        elif isinstance(message, AttachChild):
+            pass  # informational: the child will dial us
+        elif isinstance(message, DetachChild):
+            for (child, column), sender in list(self._children.items()):
+                if column == message.column:
+                    sender.close()
+        elif isinstance(message, Probe):
+            if self._control_writer is not None:
+                write_control_nowait(
+                    self._control_writer,
+                    ProbeAck(node_id=self.node_id, nonce=message.nonce),
+                )
+
+    def _complain(self, column: int, suspect: int) -> None:
+        """Tell the server an upstream thread went silent (once per
+        silence; re-armed by SetParent)."""
+        if (self.server_lost or column in self._complained
+                or self._control_writer is None or suspect == SERVER):
+            return
+        self._complained.add(column)
+        self.stats.complaints += 1
+        try:
+            write_control_nowait(self._control_writer, ComplaintMsg(
+                reporter=self.node_id, column=column, suspect=suspect))
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Upstream data plane (we are the child)
+
+    def _restart_thread(self, column: int) -> None:
+        """(Re)start the upstream pump for one thread."""
+        old = self._thread_tasks.pop(column, None)
+        if old is not None:
+            old.cancel()
+        if not self._running or column not in self.parents:
+            return
+        self._thread_tasks[column] = asyncio.ensure_future(
+            self._thread_loop(column)
+        )
+
+    async def _thread_loop(self, column: int) -> None:
+        """Dial the current parent of ``column`` and consume its stream,
+        reconnecting with exponential backoff for as long as we hold the
+        thread."""
+        backoff = self.reconnect_base
+        while self._running and column in self.parents:
+            parent = self.parents[column]
+            address = (
+                (self.server_host, self.server_port) if parent == SERVER
+                else self._addresses.get(parent)
+            )
+            clean = False
+            if address is not None:
+                clean = await self._consume_upstream(column, parent, address)
+            if clean:
+                backoff = self.reconnect_base
+                continue
+            if self.parents.get(column) == parent:
+                self._complain(column, parent)
+            try:
+                await asyncio.sleep(backoff)
+            except asyncio.CancelledError:
+                return
+            self.stats.reconnects += 1
+            backoff = min(backoff * 2, self.reconnect_max)
+
+    async def _consume_upstream(
+        self, column: int, parent: int, address: tuple[str, int]
+    ) -> bool:
+        """One connection lifetime; True if any packet arrived (healthy
+        session — reset the backoff)."""
+        writer: Optional[asyncio.StreamWriter] = None
+        saw_traffic = False
+        try:
+            reader, writer = await asyncio.open_connection(*address)
+            await send_control(writer, DataHello(
+                node_id=self.node_id, column=column))
+            while self._running and self.parents.get(column) == parent:
+                message = await asyncio.wait_for(
+                    read_message(reader), timeout=self.silence_timeout
+                )
+                if message is None:
+                    break  # upstream closed
+                if isinstance(message, CodedPacket):
+                    saw_traffic = True
+                    self._on_packet(message)
+                elif isinstance(message, KeepAlive):
+                    saw_traffic = True
+                    self.stats.keepalives_seen += 1
+        except (asyncio.TimeoutError, ConnectionError, OSError, FramingError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            if writer is not None:
+                writer.close()
+        return saw_traffic
+
+    # ------------------------------------------------------------------
+    # Downstream data plane (we are the parent)
+
+    async def _handle_child(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = await read_message(reader)
+        except FramingError:
+            writer.close()
+            return
+        if not isinstance(hello, DataHello) or not self._running:
+            writer.close()
+            return
+        key = (hello.node_id, hello.column)
+        old = self._children.pop(key, None)
+        if old is not None:
+            old.close()
+        sender = PacketSender(
+            writer, column=hello.column, sender_id=self.node_id or -1,
+            limit=self.queue_limit, keepalive_interval=self.keepalive_interval,
+        )
+        self.sender_stats.append(sender.stats)
+        self._children[key] = sender
+        # Seed the child immediately rather than waiting for our next
+        # upstream arrival (matters when upstream is already complete).
+        packet = self.recoder.emit() if self.recoder is not None else None
+        if packet is not None:
+            sender.enqueue(packet)
+            self.stats.forwarded += 1
+        try:
+            await sender.run()
+        finally:
+            if self._children.get(key) is sender:
+                del self._children[key]
+
+    def _on_packet(self, packet: CodedPacket) -> None:
+        """Ingest one upstream packet and fan fresh mixtures downstream."""
+        self.stats.received += 1
+        if self.recoder.receive(packet):
+            self.stats.innovative += 1
+        for sender in list(self._children.values()):
+            mixture = self.recoder.emit()
+            if mixture is None:
+                break
+            sender.enqueue(mixture)
+            self.stats.forwarded += 1
+        if not self.completed and self.recoder.decoder.is_complete:
+            self.completed = True
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+    #: All child pumps currently attached (diagnostics / harness).
+    @property
+    def child_senders(self) -> list[PacketSender]:
+        return list(self._children.values())

@@ -1,0 +1,410 @@
+"""The coordination + source server over real sockets.
+
+:class:`ServerNode` is the live-transport counterpart of
+:class:`~repro.protocol_sim.actors.ServerActor`: it owns the same
+:class:`~repro.core.server.CoordinationServer` (and therefore the thread
+matrix ``M``), serves the hello/good-bye protocols — including the §5
+random-row-insertion variant via ``insert_mode="uniform"`` — and
+additionally runs the data plane's root: a
+:class:`~repro.coding.encoder.SourceEncoder` that pumps coded packets
+down each column's chain.
+
+Connections are dialed by the downstream side.  A peer keeps one
+*control* connection open (first frame: ``JoinRequest``); the top node
+of each column dials a *data* connection (first frame: ``DataHello``)
+and receives that column's stream.  Failure handling is two-layered:
+
+* **fast path** — a peer's control connection dropping without a
+  ``LeaveRequest`` is treated as a crash: the server splices the row out
+  (Lemma 1 repair) and pushes ``SetParent``/``AttachChild`` redirects;
+* **slow path** — children whose threads go silent complain; the server
+  probes the suspect over its control connection and repairs on probe
+  timeout, exactly as in §3.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..coding.encoder import SourceEncoder
+from ..coding.generation import GenerationParams
+from ..core.matrix import SERVER
+from ..core.server import CoordinationServer
+from ..protocol_sim.messages import (
+    AttachChild,
+    ComplaintMsg,
+    DetachChild,
+    JoinGrant,
+    JoinRequest,
+    LeaveRequest,
+    Probe,
+    ProbeAck,
+    SetParent,
+)
+from .control import DataHello, PeerLocator, SessionInfo
+from .framing import FramingError, read_message, write_control_nowait
+from .streams import PacketSender, SenderStats
+
+__all__ = ["ServerNode", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Counters the loopback harness folds into its RunReport."""
+
+    rounds: int = 0
+    packets_sent: int = 0
+    repairs: int = 0
+    probes: int = 0
+    joins: int = 0
+    leaves: int = 0
+    crashes: int = 0
+
+
+@dataclass
+class _PeerHandle:
+    """Server-side state for one admitted peer."""
+
+    node_id: int
+    host: str
+    port: int
+    writer: asyncio.StreamWriter
+    probe_nonce: Optional[int] = None
+    left: bool = False
+    tasks: list = field(default_factory=list)
+
+
+class ServerNode:
+    """Asyncio server owning the thread matrix and the source stream.
+
+    Args:
+        content: Bytes to broadcast.
+        params: Coding geometry shared with every peer.
+        k: Server threads (matrix columns).
+        d: Default per-peer thread count.
+        host, port: Listen address (port 0 = ephemeral).
+        seed: All membership and coding randomness flows from here.
+        insert_mode: ``"append"`` (§3) or ``"uniform"`` (§5 hardening).
+        send_interval: Seconds between emission rounds (one coded packet
+            per attached column per round).
+        queue_limit: Bound of each column's outbound queue.
+        keepalive_interval: Idle keep-alive period on data connections.
+        probe_timeout: Grace period for a suspect to answer a probe.
+    """
+
+    def __init__(
+        self,
+        content: bytes,
+        params: GenerationParams,
+        *,
+        k: int,
+        d: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        seed: int = 0,
+        insert_mode: str = "append",
+        send_interval: float = 0.005,
+        queue_limit: int = 32,
+        keepalive_interval: float = 0.25,
+        probe_timeout: float = 0.5,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.core = CoordinationServer(k, d, rng, insert_mode)
+        self.encoder = SourceEncoder(content, params, rng)
+        self.params = params
+        self.content_length = len(content)
+        self.host = host
+        self.port = port
+        self.send_interval = send_interval
+        self.queue_limit = queue_limit
+        self.keepalive_interval = keepalive_interval
+        self.probe_timeout = probe_timeout
+        self.stats = ServerStats()
+        self._peers: dict[int, _PeerHandle] = {}
+        self._column_senders: dict[int, PacketSender] = {}
+        #: One entry per data connection ever served (stats outlive pumps).
+        self.sender_stats: list[SenderStats] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stream_task: Optional[asyncio.Task] = None
+        self._probe_tasks: set[asyncio.Task] = set()
+        self._nonce = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> None:
+        """Bind the listen socket and start the emission loop."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._running = True
+        self._stream_task = asyncio.ensure_future(self._stream_loop())
+
+    async def stop(self) -> None:
+        """Close every connection and stop serving."""
+        self._running = False
+        pending = [t for t in [self._stream_task, *self._probe_tasks]
+                   if t is not None]
+        for task in pending:
+            task.cancel()
+        for sender in list(self._column_senders.values()):
+            sender.close()
+        self._column_senders.clear()
+        for handle in list(self._peers.values()):
+            handle.writer.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    @property
+    def population(self) -> int:
+        """Rows currently in the matrix."""
+        return self.core.population
+
+    # ------------------------------------------------------------------
+    # Data plane
+
+    async def _stream_loop(self) -> None:
+        """One emission round per interval: a packet per attached column.
+
+        Generations are served round-robin so every generation keeps
+        flowing regardless of which columns are attached.
+        """
+        generation_count = self.encoder.generation_count
+        try:
+            while self._running:
+                await asyncio.sleep(self.send_interval)
+                generation = self.stats.rounds % generation_count
+                self.stats.rounds += 1
+                for sender in list(self._column_senders.values()):
+                    if sender.closed:
+                        continue
+                    sender.enqueue(self.encoder.emit(generation))
+                    self.stats.packets_sent += 1
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            first = await read_message(reader)
+        except FramingError:
+            writer.close()
+            return
+        if isinstance(first, JoinRequest):
+            await self._serve_control(first, reader, writer)
+        elif isinstance(first, DataHello):
+            await self._serve_data(first, reader, writer)
+        else:
+            writer.close()
+
+    async def _serve_data(
+        self, hello: DataHello, reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Stream one column to the child that dialed us."""
+        column = hello.column
+        if not 0 <= column < self.core.k:
+            writer.close()
+            return
+        old = self._column_senders.get(column)
+        if old is not None:
+            old.close()
+        sender = PacketSender(
+            writer, column=column, sender_id=SERVER,
+            limit=self.queue_limit, keepalive_interval=self.keepalive_interval,
+        )
+        self.sender_stats.append(sender.stats)
+        self._column_senders[column] = sender
+        try:
+            await sender.run()
+        finally:
+            if self._column_senders.get(column) is sender:
+                del self._column_senders[column]
+
+    # ------------------------------------------------------------------
+    # Control plane
+
+    async def _serve_control(
+        self, request: JoinRequest, reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        handle = self._admit(request, writer)
+        try:
+            while self._running:
+                message = await read_message(reader)
+                if message is None:
+                    break
+                self._dispatch_control(handle, message)
+                if handle.left:
+                    break
+        except (FramingError, ConnectionError, OSError):
+            pass
+        finally:
+            self._disconnect(handle)
+
+    def _admit(self, request: JoinRequest, writer: asyncio.StreamWriter) -> _PeerHandle:
+        """Run the hello protocol for a fresh control connection."""
+        peername = writer.get_extra_info("peername")
+        host = peername[0] if peername else "127.0.0.1"
+        grant = self.core.hello()
+        handle = _PeerHandle(
+            node_id=grant.node_id, host=host, port=request.reply_to, writer=writer
+        )
+        self._peers[grant.node_id] = handle
+        self.stats.joins += 1
+        # Geometry first, then parent locators, then the grant itself: by
+        # the time the joiner sees its assignments it can dial them all.
+        write_control_nowait(writer, SessionInfo(
+            generation_size=self.params.generation_size,
+            payload_size=self.params.payload_size,
+            generation_count=self.encoder.generation_count,
+            content_length=self.content_length,
+            k=self.core.k,
+            d=self.core.d,
+        ))
+        for assignment in grant.assignments:
+            self._send_locator(handle, assignment.parent)
+        write_control_nowait(writer, JoinGrant(
+            node_id=grant.node_id,
+            assignments=tuple((a.column, a.parent) for a in grant.assignments),
+        ))
+        for assignment in grant.assignments:
+            self._notify(assignment.parent,
+                         AttachChild(column=assignment.column, child=grant.node_id))
+        # Uniform insertion may splice the newcomer mid-column: displaced
+        # children re-dial the newcomer, which starts serving them.
+        for redirect in grant.redirects:
+            if redirect.child is None:
+                continue
+            child = self._peers.get(redirect.child)
+            if child is not None:
+                self._send_locator(child, grant.node_id)
+                self._notify(redirect.child,
+                             SetParent(column=redirect.column, parent=grant.node_id))
+            self._notify(grant.node_id,
+                         AttachChild(column=redirect.column, child=redirect.child))
+        return handle
+
+    def _dispatch_control(self, handle: _PeerHandle, message: object) -> None:
+        if isinstance(message, LeaveRequest):
+            self._handle_leave(handle)
+        elif isinstance(message, ComplaintMsg):
+            self._handle_complaint(message)
+        elif isinstance(message, ProbeAck):
+            peer = self._peers.get(message.node_id)
+            if peer is not None and peer.probe_nonce == message.nonce:
+                peer.probe_nonce = None
+        # Unknown or data-plane messages on the control channel: ignore.
+
+    def _handle_leave(self, handle: _PeerHandle) -> None:
+        if handle.node_id not in self.core.registry:
+            return
+        handle.left = True
+        self.stats.leaves += 1
+        redirects = self.core.goodbye(handle.node_id)
+        self._broadcast_redirects(redirects)
+
+    def _handle_complaint(self, message: ComplaintMsg) -> None:
+        suspect = self._peers.get(message.suspect)
+        if (suspect is None or suspect.left
+                or message.suspect not in self.core.registry
+                or message.suspect in self.core.failed):
+            return
+        if suspect.probe_nonce is not None:
+            return  # probe already in flight
+        self._nonce += 1
+        suspect.probe_nonce = self._nonce
+        self.stats.probes += 1
+        self._notify(message.suspect, Probe(nonce=self._nonce))
+        task = asyncio.ensure_future(
+            self._probe_deadline(message.suspect, self._nonce)
+        )
+        self._probe_tasks.add(task)
+        task.add_done_callback(self._probe_tasks.discard)
+
+    async def _probe_deadline(self, suspect_id: int, nonce: int) -> None:
+        await asyncio.sleep(self.probe_timeout)
+        suspect = self._peers.get(suspect_id)
+        if suspect is None or suspect.probe_nonce != nonce:
+            return  # answered, left, or already repaired
+        suspect.writer.close()
+        self._repair(suspect)
+
+    def _disconnect(self, handle: _PeerHandle) -> None:
+        """Control connection gone: graceful if it said good-bye."""
+        if not handle.left and self._running:
+            self.stats.crashes += 1
+            self._repair(handle)
+        self._peers.pop(handle.node_id, None)
+        handle.writer.close()
+
+    def _repair(self, handle: _PeerHandle) -> None:
+        """Splice a crashed peer out of every column (Lemma 1)."""
+        if handle.left or handle.node_id not in self.core.registry:
+            return
+        handle.left = True
+        self.stats.repairs += 1
+        self.core.fail(handle.node_id)
+        redirects = self.core.repair(handle.node_id)
+        self._peers.pop(handle.node_id, None)
+        self._broadcast_redirects(redirects)
+
+    def _broadcast_redirects(self, redirects) -> None:
+        """Push the post-splice topology to every affected, live peer."""
+        for redirect in redirects:
+            if redirect.child is not None:
+                child = self._peers.get(redirect.child)
+                if child is not None:
+                    self._send_locator(child, redirect.parent)
+                    self._notify(redirect.child, SetParent(
+                        column=redirect.column, parent=redirect.parent))
+            if redirect.parent != SERVER:
+                if redirect.child is not None:
+                    self._notify(redirect.parent, AttachChild(
+                        column=redirect.column, child=redirect.child))
+                else:
+                    self._notify(redirect.parent,
+                                 DetachChild(column=redirect.column))
+
+    # ------------------------------------------------------------------
+    # Helpers
+
+    def _send_locator(self, to: _PeerHandle, node_id: int) -> None:
+        """Tell ``to`` where ``node_id`` listens (no-op for the server)."""
+        if node_id == SERVER:
+            return
+        peer = self._peers.get(node_id)
+        if peer is not None:
+            write_control_nowait(to.writer, PeerLocator(
+                node_id=node_id, host=peer.host, port=peer.port))
+
+    def _notify(self, node_id: int, message: object) -> None:
+        """Fire-and-forget a control message to a connected peer."""
+        if node_id == SERVER:
+            return
+        handle = self._peers.get(node_id)
+        if handle is None:
+            return
+        try:
+            write_control_nowait(handle.writer, message)
+        except (ConnectionError, OSError):
+            pass
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (used by the ``repro serve`` command)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        await self._server.serve_forever()

@@ -1,0 +1,137 @@
+"""Per-connection outbound pumps with bounded queues.
+
+Backpressure policy (the per-neighbour-queues design of
+arXiv:1301.5107): every downstream connection owns a bounded FIFO of
+coded packets.  When the consumer is slower than the producer the queue
+fills and the *oldest* packet is dropped.  With RLNC this is safe by
+construction — every enqueued packet is a fresh random mixture of the
+sender's buffer, so any later packet carries at least as much
+information as the one evicted; nothing is retransmitted and nothing is
+tracked.
+
+The pump also emits a :class:`~repro.protocol_sim.messages.KeepAlive`
+control frame when the data flow pauses, so an idle-but-healthy thread
+is distinguishable from a dead parent (the paper's silence-based
+failure detection, run over real sockets).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from ..coding.packet import CodedPacket
+from ..protocol_sim.messages import KeepAlive
+from .framing import write_control_nowait, write_packet_nowait
+
+__all__ = ["PacketSender", "SenderStats"]
+
+
+@dataclass
+class SenderStats:
+    """Delivery accounting for one outbound pump."""
+
+    enqueued: int = 0
+    dropped: int = 0
+    sent: int = 0
+    keepalives: int = 0
+
+
+class PacketSender:
+    """Bounded drop-oldest pump feeding one downstream connection.
+
+    Args:
+        writer: The connection to the downstream node.
+        column: Thread column this pump serves (stamped on keep-alives).
+        sender_id: Our node id (stamped on keep-alives; -1 = server).
+        limit: Queue bound; the oldest packet is evicted on overflow.
+        keepalive_interval: Idle period after which a keep-alive frame
+            is sent (None disables keep-alives).
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        *,
+        column: int,
+        sender_id: int,
+        limit: int = 32,
+        keepalive_interval: Optional[float] = None,
+    ) -> None:
+        if limit < 1:
+            raise ValueError("queue limit must be >= 1")
+        self.column = column
+        self.sender_id = sender_id
+        self.stats = SenderStats()
+        self._writer = writer
+        self._limit = limit
+        self._keepalive_interval = keepalive_interval
+        self._queue: Deque[CodedPacket] = deque()
+        self._wakeup = asyncio.Event()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def enqueue(self, packet: CodedPacket) -> bool:
+        """Queue a packet; evict the oldest when full.
+
+        Returns True if the packet was queued without an eviction.
+        """
+        if self._closed:
+            return False
+        self.stats.enqueued += 1
+        clean = True
+        if len(self._queue) >= self._limit:
+            self._queue.popleft()
+            self.stats.dropped += 1
+            clean = False
+        self._queue.append(packet)
+        self._wakeup.set()
+        return clean
+
+    def close(self) -> None:
+        """Stop the pump; the run loop exits at its next wakeup."""
+        self._closed = True
+        self._wakeup.set()
+
+    async def run(self) -> None:
+        """Drain the queue onto the wire until closed or disconnected."""
+        try:
+            while not self._closed:
+                if not self._queue:
+                    if not await self._wait_for_work():
+                        continue  # idle timeout: keep-alive sent
+                if self._closed:
+                    break
+                while self._queue:
+                    write_packet_nowait(self._writer, self._queue.popleft())
+                    self.stats.sent += 1
+                await self._writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self._closed = True
+            self._writer.close()
+
+    async def _wait_for_work(self) -> bool:
+        """Block until work arrives; False after an idle keep-alive."""
+        self._wakeup.clear()
+        if self._queue or self._closed:
+            return True
+        try:
+            await asyncio.wait_for(
+                self._wakeup.wait(), timeout=self._keepalive_interval
+            )
+            return True
+        except asyncio.TimeoutError:
+            write_control_nowait(
+                self._writer,
+                KeepAlive(column=self.column, sender=self.sender_id),
+            )
+            self.stats.keepalives += 1
+            await self._writer.drain()
+            return False

@@ -18,6 +18,14 @@ class TestParser:
         args = build_parser().parse_args(["overlay"])
         assert args.k == 24 and args.d == 3 and args.peers == 200
 
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.peers == 8 and args.kill == -1 and args.deadline == 60.0
+
+    def test_join_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join"])
+
 
 class TestCommands:
     def test_overlay(self, capsys):
@@ -41,6 +49,15 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "mean collapse steps" in out
+
+    def test_demo_small(self, capsys):
+        code = main(["demo", "--peers", "3", "--k", "3", "--d", "2",
+                     "--g", "6", "--payload", "32", "--generations", "1",
+                     "--seed", "2", "--deadline", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged: True" in out
+        assert "corrupt decodes: 0" in out
 
     def test_scenario_small(self, capsys):
         code = main(["scenario", "file_download", "--seed", "1",

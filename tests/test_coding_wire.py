@@ -2,13 +2,16 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.coding import GenerationParams, SourceEncoder
+from repro.coding import CodedPacket, GenerationParams, SourceEncoder
 from repro.coding.wire import (
     WireFormatError,
     decode_packet,
     encode_packet,
     frame_size,
+    read_frame,
 )
 
 
@@ -55,6 +58,155 @@ class TestRoundtrip:
         encoder = SourceEncoder(content, params, rng, systematic_first=True)
         frame = encode_packet(encoder.emit(0))
         assert frame[3] & 0x01  # flags byte carries the systematic hint
+
+
+def _packets_equal(a, b):
+    return (a.generation == b.generation and a.origin == b.origin
+            and np.array_equal(a.coefficients, b.coefficients)
+            and np.array_equal(a.payload, b.payload))
+
+
+_packet_strategy = st.builds(
+    CodedPacket,
+    generation=st.integers(min_value=0, max_value=2**32 - 1),
+    coefficients=st.binary(min_size=1, max_size=64).map(
+        lambda b: np.frombuffer(b, dtype=np.uint8).copy()
+    ),
+    payload=st.binary(min_size=0, max_size=128).map(
+        lambda b: np.frombuffer(b, dtype=np.uint8).copy()
+    ),
+    origin=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+)
+
+
+class TestVersions:
+    """v2 adds a CRC32 trailer; v1 frames still decode."""
+
+    def test_v1_frame_decodes_without_trailer(self, packet):
+        frame = encode_packet(packet, version=1)
+        assert len(frame) == frame_size(packet.generation_size,
+                                        packet.payload_size, version=1)
+        decoded = decode_packet(frame)
+        assert _packets_equal(decoded, packet)
+
+    def test_v2_is_v1_plus_four_trailer_bytes(self, packet):
+        assert len(encode_packet(packet)) == len(encode_packet(packet, version=1)) + 4
+
+    def test_unknown_encode_version_rejected(self, packet):
+        with pytest.raises(WireFormatError):
+            encode_packet(packet, version=3)
+        with pytest.raises(WireFormatError):
+            frame_size(4, 4, version=0)
+
+    def test_corrupted_payload_fails_crc(self, packet):
+        frame = bytearray(encode_packet(packet))
+        frame[20] ^= 0x40  # inside the coefficient/payload region
+        with pytest.raises(WireFormatError, match="CRC"):
+            decode_packet(bytes(frame))
+
+    def test_corrupted_trailer_fails_crc(self, packet):
+        frame = bytearray(encode_packet(packet))
+        frame[-1] ^= 0x01
+        with pytest.raises(WireFormatError, match="CRC"):
+            decode_packet(bytes(frame))
+
+    def test_v1_corruption_is_silent(self, packet):
+        """The legacy format cannot detect body corruption — the reason
+        v2 exists."""
+        frame = bytearray(encode_packet(packet, version=1))
+        frame[-1] ^= 0x01
+        decoded = decode_packet(bytes(frame))  # parses fine, bad bytes
+        assert not np.array_equal(decoded.payload, packet.payload)
+
+    @settings(max_examples=50, deadline=None)
+    @given(packet=_packet_strategy, version=st.sampled_from([1, 2]))
+    def test_roundtrip_both_versions(self, packet, version):
+        assert _packets_equal(
+            decode_packet(encode_packet(packet, version=version)), packet
+        )
+
+
+class TestEdgeGeometry:
+    def test_empty_payload(self):
+        packet = CodedPacket(generation=0,
+                             coefficients=np.array([7], dtype=np.uint8),
+                             payload=np.zeros(0, dtype=np.uint8), origin=-1)
+        decoded = decode_packet(encode_packet(packet))
+        assert decoded.payload_size == 0
+        assert decoded.origin == -1
+
+    def test_generation_size_at_uint16_boundary(self):
+        packet = CodedPacket(
+            generation=1,
+            coefficients=np.ones(0xFFFF, dtype=np.uint8),
+            payload=np.zeros(3, dtype=np.uint8),
+        )
+        decoded = decode_packet(encode_packet(packet))
+        assert decoded.generation_size == 0xFFFF
+        assert np.array_equal(decoded.coefficients, packet.coefficients)
+
+    def test_server_and_extreme_origins(self):
+        for origin in (-1, -(2**31), 2**31 - 1):
+            packet = CodedPacket(generation=0,
+                                 coefficients=np.array([1], dtype=np.uint8),
+                                 payload=np.array([9], dtype=np.uint8),
+                                 origin=origin)
+            assert decode_packet(encode_packet(packet)).origin == origin
+
+
+class TestReadFrame:
+    """Streaming decode: a socket reader never sees aligned frames."""
+
+    def test_empty_buffer(self):
+        packet, rest = read_frame(b"")
+        assert packet is None and rest == b""
+
+    def test_partial_header(self, packet):
+        prefix = encode_packet(packet)[:10]
+        parsed, rest = read_frame(prefix)
+        assert parsed is None and rest == prefix
+
+    def test_partial_body(self, packet):
+        frame = encode_packet(packet)
+        parsed, rest = read_frame(frame[:-1])
+        assert parsed is None and rest == frame[:-1]
+
+    def test_exact_frame(self, packet):
+        parsed, rest = read_frame(encode_packet(packet))
+        assert _packets_equal(parsed, packet) and rest == b""
+
+    def test_two_frames_back_to_back(self, packet):
+        buffer = encode_packet(packet) + encode_packet(packet, version=1)
+        first, rest = read_frame(buffer)
+        second, rest = read_frame(rest)
+        assert _packets_equal(first, packet)
+        assert _packets_equal(second, packet)
+        assert rest == b""
+
+    def test_frame_plus_partial(self, packet):
+        tail = encode_packet(packet)[:7]
+        parsed, rest = read_frame(encode_packet(packet) + tail)
+        assert _packets_equal(parsed, packet) and rest == tail
+
+    def test_bad_magic_raises(self, packet):
+        frame = bytearray(encode_packet(packet))
+        frame[0] ^= 0xFF
+        with pytest.raises(WireFormatError):
+            read_frame(bytes(frame))
+
+    @settings(max_examples=50, deadline=None)
+    @given(packet=_packet_strategy, data=st.data())
+    def test_any_split_point_reassembles(self, packet, data):
+        """Feeding a frame in two arbitrary chunks yields the packet."""
+        frame = encode_packet(packet)
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame)))
+        parsed, buffer = read_frame(frame[:cut])
+        if parsed is not None:  # cut == len(frame)
+            assert _packets_equal(parsed, packet)
+            return
+        parsed, rest = read_frame(bytes(buffer) + frame[cut:])
+        assert _packets_equal(parsed, packet)
+        assert rest == b""
 
 
 class TestErrors:

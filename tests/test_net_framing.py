@@ -1,0 +1,153 @@
+"""Tests for stream framing and the bounded outbound pumps."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.coding import CodedPacket
+from repro.coding.wire import encode_packet
+from repro.net.control import DataHello, encode_control
+from repro.net.framing import (
+    KIND_CONTROL,
+    KIND_DATA,
+    FrameBuffer,
+    FramingError,
+    encode_frame,
+    read_message,
+)
+from repro.net.streams import PacketSender
+from repro.protocol_sim.messages import KeepAlive, SetParent
+
+
+def _packet(generation=0, origin=3):
+    return CodedPacket(
+        generation=generation,
+        coefficients=np.array([1, 2, 3], dtype=np.uint8),
+        payload=np.arange(10, dtype=np.uint8),
+        origin=origin,
+    )
+
+
+class TestFrameBuffer:
+    def test_byte_by_byte_feed(self):
+        """TCP can deliver any fragmentation; one byte at a time is the
+        worst case."""
+        buffer = FrameBuffer()
+        frame = encode_frame(KIND_DATA, encode_packet(_packet()))
+        for i, byte in enumerate(frame):
+            buffer.feed(bytes([byte]))
+            message = buffer.next_message()
+            if i < len(frame) - 1:
+                assert message is None
+            else:
+                assert isinstance(message, CodedPacket)
+
+    def test_mixed_kinds_in_one_feed(self):
+        buffer = FrameBuffer()
+        buffer.feed(
+            encode_frame(KIND_DATA, encode_packet(_packet(generation=4)))
+            + encode_frame(KIND_CONTROL, encode_control(SetParent(column=1, parent=2)))
+            + encode_frame(KIND_CONTROL, encode_control(KeepAlive(column=0, sender=9)))
+        )
+        messages = list(buffer.messages())
+        assert [type(m).__name__ for m in messages] == [
+            "CodedPacket", "SetParent", "KeepAlive"
+        ]
+        assert messages[0].generation == 4
+        assert buffer.pending() == 0
+
+    def test_oversize_frame_rejected(self):
+        buffer = FrameBuffer()
+        buffer.feed((2**30).to_bytes(4, "big") + b"\x00junk")
+        with pytest.raises(FramingError):
+            buffer.next_message()
+
+    def test_unknown_kind_rejected(self):
+        buffer = FrameBuffer()
+        buffer.feed((1).to_bytes(4, "big") + bytes([7]) + b"x")
+        with pytest.raises(FramingError):
+            buffer.next_message()
+
+    def test_corrupt_body_rejected(self):
+        body = bytearray(encode_packet(_packet()))
+        body[-1] ^= 0x01  # breaks the CRC32 trailer
+        buffer = FrameBuffer()
+        buffer.feed(encode_frame(KIND_DATA, bytes(body)))
+        with pytest.raises(FramingError):
+            buffer.next_message()
+
+
+class TestReadMessage:
+    def _reader(self, data: bytes, eof: bool = True) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        if eof:
+            reader.feed_eof()
+        return reader
+
+    def test_reads_frames_then_clean_eof(self):
+        async def scenario():
+            reader = self._reader(
+                encode_frame(KIND_CONTROL, encode_control(DataHello(node_id=1,
+                                                                    column=2)))
+                + encode_frame(KIND_DATA, encode_packet(_packet()))
+            )
+            first = await read_message(reader)
+            second = await read_message(reader)
+            third = await read_message(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert first == DataHello(node_id=1, column=2)
+        assert isinstance(second, CodedPacket)
+        assert third is None
+
+    def test_truncated_prefix_raises(self):
+        async def scenario():
+            await read_message(self._reader(b"\x00\x00"))
+
+        with pytest.raises(FramingError):
+            asyncio.run(scenario())
+
+    def test_truncated_body_raises(self):
+        async def scenario():
+            frame = encode_frame(KIND_DATA, encode_packet(_packet()))
+            await read_message(self._reader(frame[:-3]))
+
+        with pytest.raises(FramingError):
+            asyncio.run(scenario())
+
+
+class _StubWriter:
+    """Just enough StreamWriter for a PacketSender that never runs."""
+
+    def write(self, data):  # pragma: no cover - enqueue never writes
+        raise AssertionError("enqueue must not touch the writer")
+
+    def close(self):
+        pass
+
+
+class TestPacketSenderQueue:
+    def test_drop_oldest_on_overflow(self):
+        async def scenario():
+            sender = PacketSender(_StubWriter(), column=0, sender_id=1, limit=3)
+            for generation in range(5):
+                sender.enqueue(_packet(generation=generation))
+            return sender
+
+        sender = asyncio.run(scenario())
+        assert sender.stats.enqueued == 5
+        assert sender.stats.dropped == 2
+        # The three newest mixtures survive — RLNC makes the evicted
+        # two redundant by construction.
+        assert [p.generation for p in sender._queue] == [2, 3, 4]
+
+    def test_enqueue_after_close_is_refused(self):
+        async def scenario():
+            sender = PacketSender(_StubWriter(), column=0, sender_id=1, limit=2)
+            sender.close()
+            return sender.enqueue(_packet())
+
+        assert asyncio.run(scenario()) is False

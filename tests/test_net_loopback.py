@@ -1,0 +1,77 @@
+"""End-to-end tests of the live transport over loopback sockets.
+
+These spin up a real asyncio server plus peers on 127.0.0.1 (ephemeral
+ports) — small populations and tiny generations keep each run well under
+a second of steady-state streaming; deadlines are generous for loaded CI
+machines.
+"""
+
+import pytest
+
+from repro.net import LoopbackConfig, run_loopback_sync
+from repro.sim.report import RunReport
+
+
+def _small_config(**overrides):
+    defaults = dict(
+        peers=4, k=4, d=2, generation_size=6, payload_size=32,
+        generations=2, seed=11, deadline=30.0,
+    )
+    defaults.update(overrides)
+    return LoopbackConfig(**defaults)
+
+
+class TestLoopbackBroadcast:
+    def test_all_peers_decode_every_generation(self):
+        result = run_loopback_sync(_small_config())
+        report = result.report
+        assert result.converged
+        assert isinstance(report, RunReport)
+        assert report.completion_fraction == 1.0
+        assert all(n.decoded_ok for n in report.nodes)
+        assert all(n.rank == n.needed for n in report.nodes)
+        assert report.server_packets > 0
+        assert report.slots > 0
+
+    def test_report_shape_matches_simulators(self):
+        """Existing report consumers must work on live runs unchanged."""
+        report = run_loopback_sync(_small_config(seed=12)).report
+        assert report.completion_percentile(95) >= report.completion_percentile(50)
+        assert report.mean_completion_slot() > 0
+        assert 0.0 < report.link_stats.delivery_ratio <= 1.0
+        slots = report.completion_slots()
+        assert len(slots) == 4 and all(s <= report.slots for s in slots)
+
+    def test_uniform_insert_mode(self):
+        """§5 random row insertion: mid-column splices during admission."""
+        result = run_loopback_sync(
+            _small_config(peers=5, k=5, seed=13, insert_mode="uniform")
+        )
+        assert result.converged
+        assert all(n.decoded_ok for n in result.report.nodes)
+
+    def test_single_peer_chain_from_server(self):
+        result = run_loopback_sync(_small_config(peers=1, seed=14))
+        assert result.converged
+        assert result.report.nodes[0].decoded_ok
+
+
+class TestFailureRecovery:
+    def test_killed_peer_triggers_repair_and_others_converge(self):
+        result = run_loopback_sync(_small_config(
+            peers=5, generation_size=8, generations=3, seed=15,
+            kill_peer=0, kill_at_progress=0.2,
+        ))
+        assert result.killed == 0
+        assert result.repairs >= 1
+        assert result.converged
+        survivors = [n for i, n in enumerate(result.report.nodes) if i != 0]
+        assert all(n.decoded_ok for n in survivors)
+
+    def test_kill_config_validation(self):
+        with pytest.raises(ValueError):
+            LoopbackConfig(peers=3, kill_peer=3)
+        with pytest.raises(ValueError):
+            LoopbackConfig(peers=0)
+        with pytest.raises(ValueError):
+            LoopbackConfig(k=2, d=3)
