@@ -7,6 +7,9 @@ Usage::
     python -m repro.cli overlay --k 24 --d 3 --peers 200 --fail 5
     python -m repro.cli collapse --k 12 --d 2 --p 0.03 --runs 10
     python -m repro.cli demo --peers 8 --kill 1
+    python -m repro.cli chaos --list
+    python -m repro.cli chaos all --seed 3
+    python -m repro.cli chaos crash_parent_midstream --transport live
     python -m repro.cli serve --port 9470 &
     python -m repro.cli join --port 9470
 
@@ -141,6 +144,42 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     bad = [n.node_id for n in report.nodes if n.decoded_ok is False]
     print(f"corrupt decodes: {len(bad)}")
     return 0 if result.converged and not bad else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Replay chaos scenarios against the virtual or the live transport."""
+    from .net.testing import SCENARIOS, run_scenario_sync, trace_digest
+
+    if args.list:
+        for spec in SCENARIOS.values():
+            transports = "virtual" if spec.requires_virtual else "virtual, live"
+            print(f"{spec.name}  [{transports}]")
+            print(f"    {spec.description}")
+        return 0
+    if args.name is None:
+        print("chaos: name a scenario or pass --list", file=sys.stderr)
+        return 2
+    if args.name == "all":
+        names = [
+            name for name, spec in SCENARIOS.items()
+            if args.transport == "virtual" or not spec.requires_virtual
+        ]
+    else:
+        names = [args.name]
+    failures = 0
+    for name in names:
+        result = run_scenario_sync(
+            name, seed=args.seed, transport=args.transport
+        )
+        line = result.summary()
+        if result.trace:
+            line += f"  trace={len(result.trace)} events digest={trace_digest(result.trace)}"
+        print(line)
+        failures += 0 if result.ok else 1
+    if len(names) > 1:
+        print(f"{len(names) - failures}/{len(names)} scenarios ok "
+              f"(transport={args.transport}, seed={args.seed})")
+    return 0 if failures == 0 else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -328,6 +367,20 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--deadline", type=float, default=60.0,
                       help="hard wall-clock limit in seconds")
     demo.set_defaults(func=_cmd_demo)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay fault-injection scenarios on the virtual or live transport",
+    )
+    chaos.add_argument("name", nargs="?", default=None,
+                       help="scenario name, or 'all'")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--transport", choices=["virtual", "live"],
+                       default="virtual",
+                       help="in-memory deterministic network, or real loopback TCP")
+    chaos.add_argument("--list", action="store_true",
+                       help="list known scenarios and exit")
+    chaos.set_defaults(func=_cmd_chaos)
 
     serve = sub.add_parser("serve", help="run a live coordination + source server")
     serve.add_argument("--host", default="127.0.0.1")

@@ -8,11 +8,17 @@ synchronous slots, this package runs both on asyncio TCP: a
 :mod:`repro.coding` machinery, and forward through bounded per-child
 queues.  :func:`run_loopback` deploys a whole session in one process
 and reports through the simulators' :class:`~repro.sim.report.RunReport`.
+
+All I/O goes through the :class:`Transport` seam — real asyncio streams
+by default, or the in-memory fault-injecting network of
+:mod:`repro.net.testing` (kept out of this package's import graph; pull
+it in explicitly).
 """
 
 from .control import (
     ControlFormatError,
     DataHello,
+    MESSAGE_TYPES,
     PeerLocator,
     SessionInfo,
     decode_control,
@@ -29,27 +35,41 @@ from .framing import (
     send_packet,
 )
 from .loopback import LoopbackConfig, LoopbackResult, run_loopback, run_loopback_sync
-from .peer import PeerNode, PeerStats
+from .peer import PeerNode, PeerStats, ReconnectBackoff
 from .server import ServerNode, ServerStats
 from .streams import PacketSender, SenderStats
+from .transport import (
+    AsyncioClock,
+    AsyncioTransport,
+    Clock,
+    Listener,
+    Transport,
+)
 
 __all__ = [
+    "AsyncioClock",
+    "AsyncioTransport",
+    "Clock",
     "ControlFormatError",
     "DataHello",
     "FrameBuffer",
     "FramingError",
     "KIND_CONTROL",
     "KIND_DATA",
+    "Listener",
     "LoopbackConfig",
     "LoopbackResult",
+    "MESSAGE_TYPES",
     "PacketSender",
     "PeerLocator",
     "PeerNode",
     "PeerStats",
+    "ReconnectBackoff",
     "SenderStats",
     "ServerNode",
     "ServerStats",
     "SessionInfo",
+    "Transport",
     "decode_control",
     "encode_control",
     "encode_frame",

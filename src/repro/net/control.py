@@ -46,6 +46,7 @@ from ..protocol_sim.messages import (
 __all__ = [
     "ControlFormatError",
     "DataHello",
+    "MESSAGE_TYPES",
     "PeerLocator",
     "SessionInfo",
     "decode_control",
@@ -117,6 +118,10 @@ _SIMPLE: dict[type, tuple[int, struct.Struct, tuple[str, ...]]] = {
 
 _TYPE_JOIN_GRANT = 0x0D
 _TYPE_PEER_LOCATOR = 0x11
+
+#: Every message class the codec round-trips (property-based tests
+#: enumerate this to fuzz arbitrary control streams).
+MESSAGE_TYPES: tuple[type, ...] = (*_SIMPLE, JoinGrant, PeerLocator)
 
 _BY_TYPE = {type_byte: (cls, fmt, fields)
             for cls, (type_byte, fmt, fields) in _SIMPLE.items()}

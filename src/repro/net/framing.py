@@ -28,6 +28,7 @@ from typing import Iterator, Optional, Union
 from ..coding.packet import CodedPacket
 from ..coding.wire import WireFormatError, decode_packet, encode_packet
 from .control import ControlFormatError, decode_control, encode_control
+from .transport import ByteStreamReader, ByteStreamWriter
 
 __all__ = [
     "FrameBuffer",
@@ -126,11 +127,12 @@ class FrameBuffer:
 # asyncio stream helpers
 
 
-async def read_message(reader: asyncio.StreamReader) -> Optional[Message]:
+async def read_message(reader: ByteStreamReader) -> Optional[Message]:
     """Read one message off a stream; None on clean EOF at a boundary.
 
-    Raises :class:`FramingError` on truncation mid-frame or a malformed
-    body.
+    Accepts anything with ``readexactly`` semantics — a real
+    :class:`asyncio.StreamReader` or an in-memory virtual pipe.  Raises
+    :class:`FramingError` on truncation mid-frame or a malformed body.
     """
     try:
         prefix = await reader.readexactly(_PREFIX.size)
@@ -148,23 +150,23 @@ async def read_message(reader: asyncio.StreamReader) -> Optional[Message]:
     return _parse_body(kind, body)
 
 
-def write_packet_nowait(writer: asyncio.StreamWriter, packet: CodedPacket) -> None:
+def write_packet_nowait(writer: ByteStreamWriter, packet: CodedPacket) -> None:
     """Queue a data frame on the writer without draining."""
     writer.write(encode_frame(KIND_DATA, encode_packet(packet)))
 
 
-def write_control_nowait(writer: asyncio.StreamWriter, message: object) -> None:
+def write_control_nowait(writer: ByteStreamWriter, message: object) -> None:
     """Queue a control frame on the writer without draining."""
     writer.write(encode_frame(KIND_CONTROL, encode_control(message)))
 
 
-async def send_packet(writer: asyncio.StreamWriter, packet: CodedPacket) -> None:
+async def send_packet(writer: ByteStreamWriter, packet: CodedPacket) -> None:
     """Write one data frame and drain."""
     write_packet_nowait(writer, packet)
     await writer.drain()
 
 
-async def send_control(writer: asyncio.StreamWriter, message: object) -> None:
+async def send_control(writer: ByteStreamWriter, message: object) -> None:
     """Write one control frame and drain."""
     write_control_nowait(writer, message)
     await writer.drain()

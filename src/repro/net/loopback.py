@@ -102,14 +102,42 @@ async def run_loopback(config: LoopbackConfig) -> LoopbackResult:
     await server.start()
 
     completion_rounds: dict[int, int] = {}
-
-    def _record_completion(peer: PeerNode) -> None:
-        completion_rounds[peer.node_id] = server.stats.rounds
-
     peers: list[PeerNode] = []
+    all_done = asyncio.Event()
     loop = asyncio.get_running_loop()
     started = loop.time()
     killed: Optional[int] = None
+
+    def survivors() -> list[PeerNode]:
+        return [p for i, p in enumerate(peers) if i != killed]
+
+    def _check_done() -> None:
+        if peers and all(p.completed for p in survivors()):
+            all_done.set()
+
+    def _record_completion(peer: PeerNode) -> None:
+        completion_rounds[peer.node_id] = server.stats.rounds
+        _check_done()
+
+    def mean_progress() -> float:
+        return float(np.mean([
+            p.rank / p.needed if p.needed else 0.0 for p in survivors()
+        ]))
+
+    async def _kill_watcher() -> None:
+        # The kill trigger is a progress threshold, which has no event to
+        # wait on — this poll is the only sampling loop left; completion
+        # itself is event-driven via on_complete.
+        nonlocal killed
+        while killed is None:
+            if mean_progress() >= config.kill_at_progress:
+                killed = config.kill_peer
+                peers[killed].kill()
+                _check_done()
+                return
+            await asyncio.sleep(config.send_interval)
+
+    watcher: Optional[asyncio.Task] = None
     try:
         for i in range(config.peers):
             peer = PeerNode(
@@ -122,25 +150,17 @@ async def run_loopback(config: LoopbackConfig) -> LoopbackResult:
             )
             await peer.start()
             peers.append(peer)
-
-        def survivors() -> list[PeerNode]:
-            return [p for i, p in enumerate(peers) if i != killed]
-
-        def mean_progress() -> float:
-            return float(np.mean([
-                p.rank / p.needed if p.needed else 0.0 for p in survivors()
-            ]))
-
-        while loop.time() - started < config.deadline:
-            if (config.kill_peer is not None and killed is None
-                    and mean_progress() >= config.kill_at_progress):
-                killed = config.kill_peer
-                peers[killed].kill()
-            if all(p.completed for p in survivors()):
-                break
-            await asyncio.sleep(config.send_interval)
+        if config.kill_peer is not None:
+            watcher = asyncio.ensure_future(_kill_watcher())
+        _check_done()  # a peer may have completed during staggered startup
+        try:
+            await asyncio.wait_for(all_done.wait(), timeout=config.deadline)
+        except asyncio.TimeoutError:
+            pass
         wall_clock = loop.time() - started
     finally:
+        if watcher is not None:
+            watcher.cancel()
         # Server first: the run is over, so peer disconnections below
         # must not register as crashes needing repair.
         await server.stop()

@@ -50,8 +50,52 @@ from ..protocol_sim.messages import (
 from .control import DataHello, PeerLocator, SessionInfo
 from .framing import FramingError, read_message, send_control, write_control_nowait
 from .streams import PacketSender, SenderStats
+from .transport import AsyncioTransport, ByteStreamWriter, Listener, Transport
 
-__all__ = ["PeerNode", "PeerStats"]
+__all__ = ["PeerNode", "PeerStats", "ReconnectBackoff"]
+
+
+class ReconnectBackoff:
+    """The peer's redial schedule: ``base, 2*base, 4*base, ...`` capped
+    at ``maximum``; any healthy session resets it to ``base``.
+
+    Kept as a standalone object so the schedule is unit-testable and so
+    chaos scenarios can assert the exact sleep sequence a peer followed
+    under a virtual clock.
+    """
+
+    def __init__(self, base: float, maximum: float) -> None:
+        if base <= 0:
+            raise ValueError(f"backoff base must be positive, got {base}")
+        if maximum < base:
+            raise ValueError(
+                f"backoff maximum {maximum} must be >= base {base}"
+            )
+        self.base = base
+        self.maximum = maximum
+        self._delay = base
+
+    @property
+    def current(self) -> float:
+        """The delay the next failure will sleep for."""
+        return self._delay
+
+    def next(self) -> float:
+        """Consume one step of the schedule, doubling toward the cap."""
+        delay = self._delay
+        self._delay = min(self._delay * 2, self.maximum)
+        return delay
+
+    def reset(self) -> None:
+        self._delay = self.base
+
+    def schedule(self, steps: int) -> list[float]:
+        """The first ``steps`` delays a fresh schedule would produce."""
+        delays, delay = [], self.base
+        for _ in range(steps):
+            delays.append(delay)
+            delay = min(delay * 2, self.maximum)
+        return delays
 
 
 @dataclass
@@ -80,6 +124,8 @@ class PeerNode:
             upstream redials.
         on_complete: Callback invoked once, when every generation
             decodes.
+        transport: Network + clock seam (real asyncio TCP by default;
+            the chaos harness injects a virtual network).
     """
 
     def __init__(
@@ -95,7 +141,12 @@ class PeerNode:
         reconnect_base: float = 0.05,
         reconnect_max: float = 2.0,
         on_complete: Optional[Callable[["PeerNode"], None]] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
+        self.transport: Transport = (
+            transport if transport is not None else AsyncioTransport()
+        )
+        self.clock = self.transport.clock
         self.server_host = server_host
         self.server_port = server_port
         self.host = host
@@ -122,8 +173,8 @@ class PeerNode:
         #: One entry per child connection ever served (stats outlive pumps).
         self.sender_stats: list[SenderStats] = []
         self._thread_tasks: dict[int, asyncio.Task] = {}
-        self._listener: Optional[asyncio.AbstractServer] = None
-        self._control_writer: Optional[asyncio.StreamWriter] = None
+        self._listener: Optional[Listener] = None
+        self._control_writer: Optional[ByteStreamWriter] = None
         self._control_task: Optional[asyncio.Task] = None
         self._complained: set[int] = set()
         self._running = False
@@ -133,12 +184,12 @@ class PeerNode:
 
     async def start(self) -> None:
         """Listen, join through the server, and clip every thread."""
-        self._listener = await asyncio.start_server(
+        self._listener = await self.transport.start_server(
             self._handle_child, self.host, 0
         )
-        self.port = self._listener.sockets[0].getsockname()[1]
+        self.port = self._listener.address[1]
         self._running = True
-        reader, writer = await asyncio.open_connection(
+        reader, writer = await self.transport.connect(
             self.server_host, self.server_port
         )
         self._control_writer = writer
@@ -158,7 +209,7 @@ class PeerNode:
         for column in self.parents:
             self._restart_thread(column)
 
-    async def _await_grant(self, reader: asyncio.StreamReader) -> JoinGrant:
+    async def _await_grant(self, reader) -> JoinGrant:
         """Consume the admission sequence: SessionInfo, locators, grant."""
         while True:
             message = await read_message(reader)
@@ -244,7 +295,7 @@ class PeerNode:
     # ------------------------------------------------------------------
     # Control plane
 
-    async def _control_loop(self, reader: asyncio.StreamReader) -> None:
+    async def _control_loop(self, reader) -> None:
         try:
             while self._running:
                 message = await read_message(reader)
@@ -317,7 +368,7 @@ class PeerNode:
         """Dial the current parent of ``column`` and consume its stream,
         reconnecting with exponential backoff for as long as we hold the
         thread."""
-        backoff = self.reconnect_base
+        backoff = ReconnectBackoff(self.reconnect_base, self.reconnect_max)
         while self._running and column in self.parents:
             parent = self.parents[column]
             address = (
@@ -328,30 +379,29 @@ class PeerNode:
             if address is not None:
                 clean = await self._consume_upstream(column, parent, address)
             if clean:
-                backoff = self.reconnect_base
+                backoff.reset()
                 continue
             if self.parents.get(column) == parent:
                 self._complain(column, parent)
             try:
-                await asyncio.sleep(backoff)
+                await self.clock.sleep(backoff.next())
             except asyncio.CancelledError:
                 return
             self.stats.reconnects += 1
-            backoff = min(backoff * 2, self.reconnect_max)
 
     async def _consume_upstream(
         self, column: int, parent: int, address: tuple[str, int]
     ) -> bool:
         """One connection lifetime; True if any packet arrived (healthy
         session — reset the backoff)."""
-        writer: Optional[asyncio.StreamWriter] = None
+        writer: Optional[ByteStreamWriter] = None
         saw_traffic = False
         try:
-            reader, writer = await asyncio.open_connection(*address)
+            reader, writer = await self.transport.connect(*address)
             await send_control(writer, DataHello(
                 node_id=self.node_id, column=column))
             while self._running and self.parents.get(column) == parent:
-                message = await asyncio.wait_for(
+                message = await self.clock.wait_for(
                     read_message(reader), timeout=self.silence_timeout
                 )
                 if message is None:
@@ -375,7 +425,7 @@ class PeerNode:
     # Downstream data plane (we are the parent)
 
     async def _handle_child(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self, reader, writer: ByteStreamWriter
     ) -> None:
         try:
             hello = await read_message(reader)
@@ -392,6 +442,7 @@ class PeerNode:
         sender = PacketSender(
             writer, column=hello.column, sender_id=self.node_id or -1,
             limit=self.queue_limit, keepalive_interval=self.keepalive_interval,
+            clock=self.clock,
         )
         self.sender_stats.append(sender.stats)
         self._children[key] = sender

@@ -48,6 +48,7 @@ from ..protocol_sim.messages import (
 from .control import DataHello, PeerLocator, SessionInfo
 from .framing import FramingError, read_message, write_control_nowait
 from .streams import PacketSender, SenderStats
+from .transport import AsyncioTransport, ByteStreamWriter, Listener, Transport
 
 __all__ = ["ServerNode", "ServerStats"]
 
@@ -72,7 +73,7 @@ class _PeerHandle:
     node_id: int
     host: str
     port: int
-    writer: asyncio.StreamWriter
+    writer: ByteStreamWriter
     probe_nonce: Optional[int] = None
     left: bool = False
     tasks: list = field(default_factory=list)
@@ -94,6 +95,8 @@ class ServerNode:
         queue_limit: Bound of each column's outbound queue.
         keepalive_interval: Idle keep-alive period on data connections.
         probe_timeout: Grace period for a suspect to answer a probe.
+        transport: Network + clock seam (real asyncio TCP by default;
+            the chaos harness injects a virtual network).
     """
 
     def __init__(
@@ -111,7 +114,12 @@ class ServerNode:
         queue_limit: int = 32,
         keepalive_interval: float = 0.25,
         probe_timeout: float = 0.5,
+        transport: Optional[Transport] = None,
     ) -> None:
+        self.transport: Transport = (
+            transport if transport is not None else AsyncioTransport()
+        )
+        self.clock = self.transport.clock
         rng = np.random.default_rng(seed)
         self.core = CoordinationServer(k, d, rng, insert_mode)
         self.encoder = SourceEncoder(content, params, rng)
@@ -128,7 +136,7 @@ class ServerNode:
         self._column_senders: dict[int, PacketSender] = {}
         #: One entry per data connection ever served (stats outlive pumps).
         self.sender_stats: list[SenderStats] = []
-        self._server: Optional[asyncio.AbstractServer] = None
+        self._server: Optional[Listener] = None
         self._stream_task: Optional[asyncio.Task] = None
         self._probe_tasks: set[asyncio.Task] = set()
         self._nonce = 0
@@ -139,10 +147,10 @@ class ServerNode:
 
     async def start(self) -> None:
         """Bind the listen socket and start the emission loop."""
-        self._server = await asyncio.start_server(
+        self._server = await self.transport.start_server(
             self._handle_connection, self.host, self.port
         )
-        self.port = self._server.sockets[0].getsockname()[1]
+        self.port = self._server.address[1]
         self._running = True
         self._stream_task = asyncio.ensure_future(self._stream_loop())
 
@@ -181,7 +189,7 @@ class ServerNode:
         generation_count = self.encoder.generation_count
         try:
             while self._running:
-                await asyncio.sleep(self.send_interval)
+                await self.clock.sleep(self.send_interval)
                 generation = self.stats.rounds % generation_count
                 self.stats.rounds += 1
                 for sender in list(self._column_senders.values()):
@@ -196,7 +204,7 @@ class ServerNode:
     # Connection handling
 
     async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self, reader, writer: ByteStreamWriter
     ) -> None:
         try:
             first = await read_message(reader)
@@ -211,8 +219,8 @@ class ServerNode:
             writer.close()
 
     async def _serve_data(
-        self, hello: DataHello, reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
+        self, hello: DataHello, reader,
+        writer: ByteStreamWriter,
     ) -> None:
         """Stream one column to the child that dialed us."""
         column = hello.column
@@ -225,6 +233,7 @@ class ServerNode:
         sender = PacketSender(
             writer, column=column, sender_id=SERVER,
             limit=self.queue_limit, keepalive_interval=self.keepalive_interval,
+            clock=self.clock,
         )
         self.sender_stats.append(sender.stats)
         self._column_senders[column] = sender
@@ -238,8 +247,8 @@ class ServerNode:
     # Control plane
 
     async def _serve_control(
-        self, request: JoinRequest, reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
+        self, request: JoinRequest, reader,
+        writer: ByteStreamWriter,
     ) -> None:
         handle = self._admit(request, writer)
         try:
@@ -255,7 +264,7 @@ class ServerNode:
         finally:
             self._disconnect(handle)
 
-    def _admit(self, request: JoinRequest, writer: asyncio.StreamWriter) -> _PeerHandle:
+    def _admit(self, request: JoinRequest, writer: ByteStreamWriter) -> _PeerHandle:
         """Run the hello protocol for a fresh control connection."""
         peername = writer.get_extra_info("peername")
         host = peername[0] if peername else "127.0.0.1"
@@ -336,7 +345,7 @@ class ServerNode:
         task.add_done_callback(self._probe_tasks.discard)
 
     async def _probe_deadline(self, suspect_id: int, nonce: int) -> None:
-        await asyncio.sleep(self.probe_timeout)
+        await self.clock.sleep(self.probe_timeout)
         suspect = self._peers.get(suspect_id)
         if suspect is None or suspect.probe_nonce != nonce:
             return  # answered, left, or already repaired

@@ -25,6 +25,7 @@ from typing import Deque, Optional
 from ..coding.packet import CodedPacket
 from ..protocol_sim.messages import KeepAlive
 from .framing import write_control_nowait, write_packet_nowait
+from .transport import AsyncioClock, ByteStreamWriter, Clock
 
 __all__ = ["PacketSender", "SenderStats"]
 
@@ -49,16 +50,19 @@ class PacketSender:
         limit: Queue bound; the oldest packet is evicted on overflow.
         keepalive_interval: Idle period after which a keep-alive frame
             is sent (None disables keep-alives).
+        clock: Timeline the idle timer runs on (real time by default;
+            the chaos harness injects a virtual clock).
     """
 
     def __init__(
         self,
-        writer: asyncio.StreamWriter,
+        writer: ByteStreamWriter,
         *,
         column: int,
         sender_id: int,
         limit: int = 32,
         keepalive_interval: Optional[float] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         if limit < 1:
             raise ValueError("queue limit must be >= 1")
@@ -68,6 +72,7 @@ class PacketSender:
         self._writer = writer
         self._limit = limit
         self._keepalive_interval = keepalive_interval
+        self._clock = clock if clock is not None else AsyncioClock()
         self._queue: Deque[CodedPacket] = deque()
         self._wakeup = asyncio.Event()
         self._closed = False
@@ -123,7 +128,7 @@ class PacketSender:
         if self._queue or self._closed:
             return True
         try:
-            await asyncio.wait_for(
+            await self._clock.wait_for(
                 self._wakeup.wait(), timeout=self._keepalive_interval
             )
             return True

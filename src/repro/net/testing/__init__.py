@@ -1,0 +1,41 @@
+"""Deterministic in-memory testing rig for the live transport.
+
+Two layers:
+
+* :mod:`~repro.net.testing.virtualnet` — a :class:`VirtualNetwork` of
+  in-memory pipes with scripted per-link faults, driven by a
+  :class:`VirtualClock`; the server/peer nodes run on it unmodified via
+  :class:`VirtualTransport`.
+* :mod:`~repro.net.testing.scenarios` — a :class:`ChaosHarness` and a
+  registry of named chaos scenarios asserting the §3-§6 protocol
+  invariants end to end.
+"""
+
+from .scenarios import (
+    SCENARIOS,
+    ChaosConfig,
+    ChaosHarness,
+    Scenario,
+    ScenarioResult,
+    get_scenario,
+    run_scenario,
+    run_scenario_sync,
+    trace_digest,
+)
+from .virtualnet import LinkFaults, VirtualClock, VirtualNetwork, VirtualTransport
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosHarness",
+    "LinkFaults",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "VirtualClock",
+    "VirtualNetwork",
+    "VirtualTransport",
+    "get_scenario",
+    "run_scenario",
+    "run_scenario_sync",
+    "trace_digest",
+]

@@ -2,10 +2,62 @@
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core import OverlayNetwork
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+#: Hard cap applied to every test when no ``timeout`` marker overrides
+#: it.  CI installs pytest-timeout (which takes precedence and handles
+#: its own enforcement); this SIGALRM fallback keeps local runs hang-
+#: proof without adding a dependency.
+_DEFAULT_TEST_TIMEOUT = 120
+
+
+class _TestTimeout(BaseException):
+    """Raised by the SIGALRM fallback: a BaseException so it cannot be
+    swallowed by ``except Exception`` / ``except TimeoutError`` blocks
+    inside the code under test."""
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    @pytest.fixture(autouse=True)
+    def _per_test_timeout(request):
+        marker = request.node.get_closest_marker("timeout")
+        seconds = _DEFAULT_TEST_TIMEOUT
+        if marker is not None and marker.args:
+            seconds = int(marker.args[0])
+        if (
+            seconds <= 0
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            yield
+            return
+
+        def _alarm(signum, frame):
+            raise _TestTimeout(
+                f"{request.node.nodeid} exceeded the {seconds}s hard cap "
+                "(SIGALRM fallback; install pytest-timeout for nicer output)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _alarm)
+        signal.alarm(seconds)
+        try:
+            yield
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

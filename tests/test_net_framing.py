@@ -151,3 +151,245 @@ class TestPacketSenderQueue:
             return sender.enqueue(_packet())
 
         assert asyncio.run(scenario()) is False
+
+
+# ----------------------------------------------------------------------
+# Property-based stream fuzzing (hypothesis)
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.net.control import decode_control
+from repro.protocol_sim.messages import ComplaintMsg, JoinGrant, Probe
+
+_INT32 = st.integers(-(2**31), 2**31 - 1)
+_UINT16 = st.integers(0, 2**16 - 1)
+_UINT64 = st.integers(0, 2**64 - 1)
+
+#: Control messages whose encoded form round-trips exactly (field
+#: values stay within their struct ranges).
+control_messages = st.one_of(
+    st.builds(KeepAlive, column=_UINT16, sender=_INT32),
+    st.builds(SetParent, column=_UINT16, parent=_INT32),
+    st.builds(ComplaintMsg, reporter=_INT32, column=_UINT16, suspect=_INT32),
+    st.builds(Probe, nonce=_UINT64),
+    st.builds(DataHello, node_id=_INT32, column=_UINT16),
+    st.builds(
+        JoinGrant,
+        node_id=_INT32,
+        assignments=st.lists(
+            st.tuples(_UINT16, _INT32), max_size=4
+        ).map(tuple),
+    ),
+)
+
+coded_packets = st.builds(
+    lambda generation, origin, coeffs, payload: CodedPacket(
+        generation=generation,
+        origin=origin,
+        coefficients=np.array(coeffs, dtype=np.uint8),
+        payload=np.array(payload, dtype=np.uint8),
+    ),
+    generation=st.integers(0, 2**32 - 1),
+    origin=_INT32,
+    coeffs=st.lists(st.integers(0, 255), min_size=1, max_size=8),
+    payload=st.lists(st.integers(0, 255), min_size=1, max_size=32),
+)
+
+
+def _message_key(message):
+    """An equality key (CodedPacket holds numpy arrays, so dataclass
+    ``==`` is ambiguous)."""
+    if isinstance(message, CodedPacket):
+        return (
+            "packet", message.generation, message.origin,
+            message.coefficients.tobytes(), message.payload.tobytes(),
+        )
+    return ("control", message)
+
+
+class FrameStreamMachine(RuleBasedStateMachine):
+    """Feed a valid frame stream to FrameBuffer in arbitrary chunk
+    splits; whatever the fragmentation, the decoded message sequence
+    must be exactly a prefix of what was queued — never reordered,
+    never duplicated, never invented."""
+
+    def __init__(self):
+        super().__init__()
+        self.buffer = FrameBuffer()
+        self.pending = bytearray()  # encoded but not yet fed
+        self.expected = []
+        self.decoded = []
+
+    @rule(message=control_messages)
+    def queue_control(self, message):
+        self.expected.append(_message_key(message))
+        self.pending.extend(encode_frame(KIND_CONTROL, encode_control(message)))
+
+    @rule(packet=coded_packets)
+    def queue_packet(self, packet):
+        self.expected.append(_message_key(packet))
+        self.pending.extend(encode_frame(KIND_DATA, encode_packet(packet)))
+
+    @rule(size=st.integers(1, 64))
+    def feed_chunk(self, size):
+        chunk = bytes(self.pending[:size])
+        del self.pending[:size]
+        self.buffer.feed(chunk)
+        for message in self.buffer.messages():
+            self.decoded.append(_message_key(message))
+
+    @invariant()
+    def decoded_is_a_prefix_of_expected(self):
+        assert self.decoded == self.expected[:len(self.decoded)]
+
+    def teardown(self):
+        # Flush the remainder: every queued message must come out.
+        self.buffer.feed(bytes(self.pending))
+        for message in self.buffer.messages():
+            self.decoded.append(_message_key(message))
+        assert self.decoded == self.expected
+
+
+FrameStreamMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestFrameStream = FrameStreamMachine.TestCase
+
+
+class TestCorruptStreams:
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_corrupt_data_frame_never_desyncs_or_overreads(self, data):
+        """Flip one bit anywhere in a stream of CRC32-protected data
+        frames: every frame before the flip decodes intact, the
+        corrupted frame never decodes, and the only error the buffer
+        may raise is FramingError."""
+        packets = data.draw(
+            st.lists(coded_packets, min_size=1, max_size=4), label="packets"
+        )
+        frames = [encode_frame(KIND_DATA, encode_packet(p)) for p in packets]
+        target = data.draw(
+            st.integers(0, len(frames) - 1), label="corrupt_frame"
+        )
+        start = sum(len(f) for f in frames[:target])
+        offset = start + data.draw(
+            st.integers(0, len(frames[target]) - 1), label="corrupt_offset"
+        )
+        bit = data.draw(st.integers(0, 7), label="bit")
+        blob = bytearray(b"".join(frames))
+        blob[offset] ^= 1 << bit
+
+        buffer = FrameBuffer()
+        decoded = []
+        position = 0
+        failed = False
+        while position < len(blob) and not failed:
+            size = data.draw(st.integers(1, 64), label="chunk")
+            buffer.feed(bytes(blob[position:position + size]))
+            position += size
+            try:
+                decoded.extend(
+                    _message_key(m) for m in buffer.messages()
+                )
+            except FramingError:
+                failed = True
+            except Exception as exc:  # pragma: no cover - the assertion
+                raise AssertionError(
+                    f"corrupt stream escaped FramingError: {exc!r}"
+                ) from exc
+
+        expected = [_message_key(p) for p in packets]
+        # Nothing decodes past the corrupted frame, and everything that
+        # did decode matches the original stream order exactly.
+        assert len(decoded) <= target
+        assert decoded == expected[:len(decoded)]
+
+    @given(message=control_messages)
+    @settings(max_examples=50, deadline=None)
+    def test_control_codec_roundtrip(self, message):
+        assert decode_control(encode_control(message)) == message
+
+
+# ----------------------------------------------------------------------
+# PacketSender edge cases (satellite: drop-oldest queue branches)
+
+
+class _CollectingWriter:
+    """A writer whose sink is a list (drain never blocks)."""
+
+    def __init__(self):
+        self.chunks = []
+        self.closed = False
+
+    def write(self, data):
+        self.chunks.append(bytes(data))
+
+    async def drain(self):
+        return None
+
+    def close(self):
+        self.closed = True
+
+
+class TestPacketSenderEdges:
+    def test_zero_capacity_is_rejected(self):
+        with pytest.raises(ValueError, match="limit"):
+            PacketSender(_CollectingWriter(), column=0, sender_id=1, limit=0)
+
+    def test_negative_capacity_is_rejected(self):
+        with pytest.raises(ValueError, match="limit"):
+            PacketSender(_CollectingWriter(), column=0, sender_id=1, limit=-3)
+
+    def test_close_while_blocked_unblocks_run(self):
+        """close() must wake a pump parked on an empty queue (no
+        keep-alives configured, so the wait would otherwise be forever)."""
+
+        async def scenario():
+            writer = _CollectingWriter()
+            sender = PacketSender(writer, column=0, sender_id=1, limit=2)
+            task = asyncio.ensure_future(sender.run())
+            await asyncio.sleep(0)  # let run() park on the empty queue
+            assert not task.done()
+            sender.close()
+            await asyncio.wait_for(task, timeout=5)
+            return writer.closed
+
+        assert asyncio.run(scenario()) is True
+
+    def test_enqueue_while_closed_never_wakes_the_pump(self):
+        async def scenario():
+            writer = _CollectingWriter()
+            sender = PacketSender(writer, column=0, sender_id=1, limit=2)
+            sender.close()
+            assert sender.enqueue(_packet()) is False
+            await sender.run()  # exits immediately: already closed
+            return writer.chunks
+
+        assert asyncio.run(scenario()) == []
+
+    def test_keepalive_cadence_on_virtual_clock(self):
+        """Idle keep-alives follow the configured interval exactly when
+        the pump runs on virtual time."""
+        from repro.net.testing import VirtualClock
+
+        async def scenario():
+            clock = VirtualClock()
+            writer = _CollectingWriter()
+            sender = PacketSender(
+                writer, column=3, sender_id=7, limit=4,
+                keepalive_interval=0.5, clock=clock,
+            )
+            task = asyncio.ensure_future(sender.run())
+            await clock.advance(1.75)  # idle: keep-alives at 0.5, 1.0, 1.5
+            idle_frames = len(writer.chunks)
+            sender.enqueue(_packet())
+            await clock.advance(0.1)
+            sender.close()
+            await task
+            return idle_frames, sender.stats
+
+        idle_frames, stats = asyncio.run(scenario())
+        assert idle_frames == 3
+        assert stats.keepalives == 3
+        assert stats.sent == 1

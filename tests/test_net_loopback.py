@@ -1,15 +1,20 @@
 """End-to-end tests of the live transport over loopback sockets.
 
 These spin up a real asyncio server plus peers on 127.0.0.1 (ephemeral
-ports) — small populations and tiny generations keep each run well under
-a second of steady-state streaming; deadlines are generous for loaded CI
-machines.
+ports).  The harness waits on completion events (not polling sleeps),
+so each run finishes as soon as the last peer decodes; deadlines are
+generous for loaded CI machines.  The suite is marked ``slow`` — it is
+the real-socket tier behind the in-memory chaos scenarios of
+``test_net_chaos.py`` and is deselected from the default fast run
+(select it with ``-m slow``).
 """
 
 import pytest
 
 from repro.net import LoopbackConfig, run_loopback_sync
 from repro.sim.report import RunReport
+
+pytestmark = pytest.mark.slow
 
 
 def _small_config(**overrides):

@@ -1,0 +1,279 @@
+"""Unit tests for the virtual clock and the in-memory fault network."""
+
+import asyncio
+
+import pytest
+
+from repro.net.testing import LinkFaults, VirtualClock, VirtualNetwork
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _echo_handler(reader, writer):
+    try:
+        while True:
+            data = await reader.readexactly(1)
+            writer.write(data)
+            await writer.drain()
+    except (asyncio.IncompleteReadError, ConnectionError):
+        pass
+
+
+class TestVirtualClock:
+    def test_time_only_moves_on_advance(self):
+        async def scenario():
+            clock = VirtualClock()
+            assert clock.time() == 0.0
+            await clock.advance(2.5)
+            return clock.time()
+
+        assert run(scenario()) == 2.5
+
+    def test_sleepers_wake_in_deadline_order(self):
+        async def scenario():
+            clock = VirtualClock()
+            order = []
+
+            async def sleeper(delay, tag):
+                await clock.sleep(delay)
+                order.append((tag, clock.time()))
+
+            tasks = [
+                asyncio.ensure_future(sleeper(0.3, "late")),
+                asyncio.ensure_future(sleeper(0.1, "early")),
+                asyncio.ensure_future(sleeper(0.2, "mid")),
+            ]
+            await clock.advance(1.0)
+            await asyncio.gather(*tasks)
+            return order
+
+        assert run(scenario()) == [
+            ("early", 0.1), ("mid", 0.2), ("late", 0.3)
+        ]
+
+    def test_wait_for_timeout_is_virtual(self):
+        async def scenario():
+            clock = VirtualClock()
+            blocked = asyncio.Event()
+
+            async def waiter():
+                with pytest.raises(asyncio.TimeoutError):
+                    await clock.wait_for(blocked.wait(), timeout=0.5)
+                return clock.time()
+
+            task = asyncio.ensure_future(waiter())
+            await clock.advance(0.5)
+            return await task
+
+        assert run(scenario()) == 0.5
+
+    def test_wait_for_returns_result_before_timeout(self):
+        async def scenario():
+            clock = VirtualClock()
+
+            async def value_soon():
+                await clock.sleep(0.1)
+                return 42
+
+            task = asyncio.ensure_future(
+                clock.wait_for(value_soon(), timeout=5.0)
+            )
+            await clock.advance(0.2)
+            return await task
+
+        assert run(scenario()) == 42
+
+    def test_nested_sleeps_fire_in_one_advance(self):
+        """A timer whose callback schedules another timer inside the
+        advanced window fires within the same advance call."""
+
+        async def scenario():
+            clock = VirtualClock()
+            hops = []
+
+            async def hopper():
+                for _ in range(3):
+                    await clock.sleep(0.1)
+                    hops.append(clock.time())
+
+            task = asyncio.ensure_future(hopper())
+            await clock.advance(1.0)
+            await task
+            return hops
+
+        assert run(scenario()) == pytest.approx([0.1, 0.2, 0.3])
+
+
+class TestVirtualPipes:
+    def test_echo_roundtrip(self):
+        async def scenario():
+            net = VirtualNetwork()
+            net.bind("b", 7, _echo_handler)
+            reader, writer = await net.open_connection("a", "b", 7)
+            writer.write(b"x")
+            await writer.drain()
+            data = await reader.readexactly(1)
+            writer.close()
+            await net.shutdown()
+            return data
+
+        assert run(scenario()) == b"x"
+
+    def test_latency_delays_delivery(self):
+        async def scenario():
+            net = VirtualNetwork()
+            net.set_link("a", "b", latency=0.25)
+            net.bind("b", 7, _echo_handler)
+            dial = asyncio.ensure_future(net.open_connection("a", "b", 7))
+            await net.clock.advance(0.25)  # the SYN pays one link latency
+            reader, writer = await dial
+            connect_time = net.clock.time()
+            writer.write(b"x")
+            task = asyncio.ensure_future(reader.readexactly(1))
+            await net.clock.advance(1.0)
+            await task
+            echo_at = [t for t, kind, src, _, *_ in net.trace
+                       if kind == "deliver" and src == "b"]
+            await net.shutdown()
+            return connect_time, echo_at[0]
+
+        connect_time, echoed = run(scenario())
+        assert connect_time == 0.25
+        assert echoed == pytest.approx(0.75)  # there and back
+
+    def test_connect_refused_without_listener(self):
+        async def scenario():
+            net = VirtualNetwork()
+            with pytest.raises(ConnectionRefusedError):
+                await net.open_connection("a", "b", 7)
+            return net.events("refused")
+
+        assert len(run(scenario())) == 1
+
+    def test_partition_refuses_and_voids_then_heals(self):
+        async def scenario():
+            net = VirtualNetwork()
+            net.bind("b", 7, _echo_handler)
+            reader, writer = await net.open_connection("a", "b", 7)
+            net.partition("a", "b")
+            writer.write(b"x")
+            await writer.drain()
+            await net.clock.advance(0.1)
+            voided = len(net.events("void"))
+            with pytest.raises(ConnectionRefusedError):
+                await net.open_connection("a", "b", 7)
+            net.heal("a", "b")
+            writer.write(b"y")
+            await writer.drain()
+            data = await reader.readexactly(1)
+            await net.shutdown()
+            return voided, data
+
+        voided, data = run(scenario())
+        assert voided == 1
+        assert data == b"y"  # the partitioned byte is gone for good
+
+    def test_loss_is_seeded_and_frame_aligned(self):
+        async def scenario(seed):
+            net = VirtualNetwork(seed=seed)
+            net.set_link("a", "b", loss=0.5, symmetric=False)
+            net.bind("b", 7, _echo_handler)
+            _, writer = await net.open_connection("a", "b", 7)
+            for _ in range(20):
+                writer.write(b"z")
+            await net.clock.advance(0.1)
+            lost = len(net.events("lose"))
+            await net.shutdown()
+            return lost
+
+        first = run(scenario(5))
+        assert first == run(scenario(5))  # same seed, same losses
+        assert 0 < first < 20
+
+    def test_corruption_flips_exactly_one_bit(self):
+        async def scenario():
+            net = VirtualNetwork()
+            net.set_link("a", "b", corrupt=1.0, symmetric=False)
+            net.bind("b", 7, _echo_handler)
+            reader, writer = await net.open_connection("a", "b", 7)
+            original = bytes(range(32))
+            writer.write(original)
+            task = asyncio.ensure_future(reader.readexactly(32))
+            await net.clock.advance(0.1)
+            received = await task
+            await net.shutdown()
+            return original, received
+
+        original, received = run(scenario())
+        assert received != original
+        diff = [o ^ r for o, r in zip(original, received)]
+        flipped = [d for d in diff if d]
+        assert len(flipped) == 1 and bin(flipped[0]).count("1") == 1
+
+    def test_close_resets_the_other_side(self):
+        async def scenario():
+            net = VirtualNetwork()
+            accepted = {}
+
+            async def handler(reader, writer):
+                accepted["reader"] = reader
+                accepted["writer"] = writer
+
+            net.bind("b", 7, handler)
+            reader, writer = await net.open_connection("a", "b", 7)
+            await net.clock.advance(0.0)
+            writer.close()
+            await net.clock.advance(0.1)
+            # Server side: reads run out, writes raise.
+            with pytest.raises(asyncio.IncompleteReadError):
+                await accepted["reader"].readexactly(1)
+            accepted["writer"].write(b"x")
+            with pytest.raises(ConnectionResetError):
+                await accepted["writer"].drain()
+            await net.shutdown()
+
+        run(scenario())
+
+    def test_backpressure_blocks_drain_until_delivery(self):
+        async def scenario():
+            net = VirtualNetwork()
+            net.set_link("a", "b", bandwidth=100.0, buffer_bytes=8,
+                         symmetric=False)
+            net.bind("b", 7, _echo_handler)
+            _, writer = await net.open_connection("a", "b", 7)
+            writer.write(bytes(16))  # 16B at 100B/s = 0.16s in flight
+            drained = asyncio.ensure_future(writer.drain())
+            await net.clock.advance(0.01)
+            still_blocked = not drained.done()
+            await net.clock.advance(1.0)
+            await drained
+            await net.shutdown()
+            return still_blocked
+
+        assert run(scenario()) is True
+
+    def test_blackhole_swallows_one_direction_only(self):
+        async def scenario():
+            net = VirtualNetwork()
+            net.bind("b", 7, _echo_handler)
+            reader, writer = await net.open_connection("a", "b", 7)
+            # The established link goes half-open: a's frames vanish.
+            net.set_link("a", "b", blackhole=True, symmetric=False)
+            writer.write(b"x")
+            await writer.drain()
+            await net.clock.advance(0.1)
+            await net.shutdown()
+            return len(net.events("void")), len(net.events("deliver"))
+
+        voided, delivered = run(scenario())
+        assert voided == 1
+        assert delivered == 0  # the echo never happened: b heard nothing
+
+    def test_default_faults_apply_to_new_links(self):
+        net = VirtualNetwork(default_faults=LinkFaults(latency=0.5))
+        assert net.link("x", "y").latency == 0.5
+        net.set_default(latency=0.1)
+        assert net.link("p", "q").latency == 0.1
+        assert net.link("x", "y").latency == 0.1  # existing links updated too
