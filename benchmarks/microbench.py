@@ -14,7 +14,17 @@ JSON perf snapshot so the trajectory across PRs is diffable:
 * **runtime_overhead** — the same E7 run on today's unified
   `repro.sim.runtime` kernel, compared against the slot-loop numbers
   recorded in ``BENCH_PR1.json`` (captured before the five simulators
-  were migrated onto the shared runtime) to bound the abstraction cost.
+  were migrated onto the shared runtime) to bound the abstraction cost;
+* **wire_batch** — batched pooled-buffer serialisation
+  (``encode_packets_into``) and offset-cursor streaming decode
+  (``read_frame_at``) vs the scalar codec and the tail-slicing
+  ``read_frame`` loop;
+* **recode_batch** — ``emit_batch`` (one mixing gemm per batch) vs the
+  same number of sequential scalar ``emit`` calls, same run;
+* **net_throughput** — end-to-end packets/s of one outbound pump over a
+  real loopback TCP socket: the batched pipeline (``emit_batch`` →
+  encode-once frames → coalesced ``writelines`` flush) vs the scalar
+  per-packet path, plus the observed frames-per-flush ratio.
 
 Usage::
 
@@ -49,10 +59,13 @@ from repro.sim.broadcast import BroadcastSimulation
 from repro.sim.links import LossModel
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUT = REPO_ROOT / "BENCH_PR2.json"
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR6.json"
 #: Perf snapshot recorded before the unified-runtime migration; the
 #: runtime_overhead bench reads its slot-loop numbers as the reference.
 PR1_SNAPSHOT = REPO_ROOT / "BENCH_PR1.json"
+#: Perf snapshot recorded before the batched data plane; the CI gate
+#: (benchmarks/check_bench.py) compares decode/recode speedups to it.
+PR2_SNAPSHOT = REPO_ROOT / "BENCH_PR2.json"
 
 DECODE_GENERATION_SIZES = (16, 32, 64)
 
@@ -226,6 +239,264 @@ def bench_recode(budget_s: float, payload_size: int,
     return metrics
 
 
+def bench_wire_batch(budget_s: float, payload_size: int,
+                     generation_size: int = 64,
+                     batch: int = 64) -> dict[str, float]:
+    """Batched pooled codec vs the scalar per-frame codec.
+
+    Encode: ``encode_packets_into`` into one leased buffer per batch vs
+    one ``encode_packet`` (own allocation) per frame.  Decode: the
+    offset-cursor ``read_frame_at`` walk vs the legacy tail-slicing
+    ``read_frame`` loop over the same concatenated byte stream.
+    """
+    from repro.coding.buffers import BufferPool
+    from repro.coding.wire import (
+        encode_packet,
+        encode_packets_into,
+        read_frame,
+        read_frame_at,
+    )
+
+    _params, packets = _coded_stream(generation_size, payload_size,
+                                     extra=batch - generation_size)
+    packets = packets[:batch]
+    pool = BufferPool()
+    stream = b"".join(encode_packet(p) for p in packets)
+
+    def run_encode_batched() -> None:
+        buf, spans = encode_packets_into(packets, pool=pool)
+        pool.release(buf)
+        assert len(spans) == batch
+
+    def run_encode_scalar() -> None:
+        frames = [encode_packet(p) for p in packets]
+        assert len(frames) == batch
+
+    def run_decode_cursor() -> None:
+        offset, count = 0, 0
+        while True:
+            packet, offset = read_frame_at(stream, offset)
+            if packet is None:
+                break
+            count += 1
+        assert count == batch
+
+    def run_decode_slicing() -> None:
+        buf, count = stream, 0
+        while True:
+            packet, buf = read_frame(buf)
+            if packet is None:
+                break
+            count += 1
+        assert count == batch
+
+    metrics: dict[str, float] = {}
+    reps, elapsed = _timed_reps(run_encode_batched, budget_s)
+    metrics["encode_frames_per_s"] = reps * batch / elapsed
+    reps, elapsed = _timed_reps(run_encode_scalar, budget_s)
+    metrics["encode_frames_per_s_scalar"] = reps * batch / elapsed
+    metrics["speedup_encode"] = (
+        metrics["encode_frames_per_s"] / metrics["encode_frames_per_s_scalar"]
+    )
+    reps, elapsed = _timed_reps(run_decode_cursor, budget_s)
+    metrics["decode_frames_per_s"] = reps * batch / elapsed
+    reps, elapsed = _timed_reps(run_decode_slicing, budget_s)
+    metrics["decode_frames_per_s_scalar"] = reps * batch / elapsed
+    metrics["speedup_decode"] = (
+        metrics["decode_frames_per_s"] / metrics["decode_frames_per_s_scalar"]
+    )
+    metrics["pool_allocations"] = float(pool.stats.allocations)
+    return metrics
+
+
+def bench_recode_batch(budget_s: float,
+                       generation_size: int = 8,
+                       payload_size: int = 64,
+                       batch: int = 64,
+                       trials: int = 5) -> dict[str, float]:
+    """Batched recode vs the same count of scalar ``emit`` calls.
+
+    Two comparisons on identical full-rank recoders in one process:
+
+    * ``speedup`` — ``emit_batch`` vs scalar ``emit`` (packet objects
+      out of both): the pure benefit of collapsing per-emit GF mixing
+      into one gemm.  The RNG draws stay per-emit by design (see
+      ``docs/performance.md``), which is most of each batched emit's
+      remaining cost.
+    * ``speedup_wire`` — the fused ``emit_rows`` →
+      ``encode_mixture_frames`` pipeline vs the pre-PR wire path
+      (``emit`` + per-packet frame encode), i.e. wire-ready emissions
+      per second as the live peers produce them.
+
+    Geometry matches the live transport's default streaming shape
+    (``LoopbackConfig``: generation size 8, 64-byte payloads), where
+    each emit is dominated by per-call overhead rather than GF compute
+    — the regime the batched fan-out was built for.  Each arm pair is
+    measured in ``trials`` interleaved slices and the medians reported,
+    so load drift on a shared machine cannot skew one arm.
+    """
+    from statistics import median
+
+    from repro.coding.recoder import Recoder
+    from repro.net.framing import encode_data_frame, encode_mixture_frames
+
+    params, packets = _coded_stream(generation_size, payload_size)
+
+    def _full_recoder(seed: int) -> Recoder:
+        recoder = Recoder(params, 1, np.random.default_rng(seed), node_id=9)
+        for packet in packets:
+            recoder.receive(packet)
+        assert recoder.decoder.is_complete
+        return recoder
+
+    def _ab_rates(run_batched, run_scalar) -> tuple[float, float, float]:
+        per_slice = max(budget_s / trials, 0.02)
+        batched_rates, scalar_rates, ratios = [], [], []
+        for _ in range(trials):
+            reps, elapsed = _timed_reps(run_batched, per_slice)
+            batched_rates.append(reps * batch / elapsed)
+            reps, elapsed = _timed_reps(run_scalar, per_slice)
+            scalar_rates.append(reps * batch / elapsed)
+            ratios.append(batched_rates[-1] / scalar_rates[-1])
+        return median(batched_rates), median(scalar_rates), median(ratios)
+
+    batched = _full_recoder(11)
+    scalar = _full_recoder(11)
+
+    def run_batched() -> None:
+        assert len(batched.emit_batch(batch, 0)) == batch
+
+    def run_scalar() -> None:
+        for _ in range(batch):
+            scalar.emit(0)
+
+    metrics: dict[str, float] = {"batch_size": float(batch)}
+    (metrics["emits_per_s"], metrics["emits_per_s_scalar"],
+     metrics["speedup"]) = _ab_rates(run_batched, run_scalar)
+
+    wire_batched = _full_recoder(23)
+    wire_scalar = _full_recoder(23)
+
+    def run_wire_batched() -> None:
+        frames = encode_mixture_frames(
+            wire_batched.emit_rows(batch, 0), generation_size, origin=9,
+        )
+        assert len(frames) == batch
+
+    def run_wire_scalar() -> None:
+        for _ in range(batch):
+            encode_data_frame(wire_scalar.emit(0))
+
+    (metrics["wire_emits_per_s"], metrics["wire_emits_per_s_scalar"],
+     metrics["speedup_wire"]) = _ab_rates(run_wire_batched, run_wire_scalar)
+    return metrics
+
+
+def bench_net_throughput(quick: bool) -> dict[str, float]:
+    """One outbound pump over real loopback TCP, batched vs scalar.
+
+    The producer is a full-rank recoder fanning mixtures into a
+    :class:`~repro.net.streams.PacketSender`; the consumer counts
+    length-prefixed frames off the socket without decoding them (the
+    receive path is identical in both modes and is measured by the
+    ``decode`` bench).  Batched mode runs the fused pipeline the live
+    peers use — ``emit_rows`` → ``encode_mixture_frames`` (gemm output
+    straight to pooled wire frames) → ``enqueue_frame`` → one
+    ``writelines`` per wakeup; scalar mode is the pre-batching path:
+    ``emit`` → per-packet serialisation → one ``write`` per frame.
+    """
+    import asyncio
+
+    from repro.coding.recoder import Recoder
+    from repro.coding.wire import frame_size
+    from repro.net.framing import encode_mixture_frames
+    from repro.net.streams import PacketSender
+
+    # The live transport's default streaming geometry (LoopbackConfig):
+    # small frames, where per-frame overhead — serialisation, queueing,
+    # per-write syscalls — dominates and coalescing pays.
+    generation_size, payload_size = 8, 64
+    total_frames = 2_000 if quick else 20_000
+    burst = 64
+    params, packets = _coded_stream(generation_size, payload_size)
+    # Every emitted mixture serialises to the same length-prefixed size,
+    # so the sink can count bytes instead of parsing frame boundaries.
+    frame_bytes = 5 + frame_size(generation_size, payload_size)
+    expected_bytes = total_frames * frame_bytes
+
+    async def _measure(batched: bool) -> tuple[float, float]:
+        recoder = Recoder(params, 1, np.random.default_rng(17), node_id=5)
+        for packet in packets:
+            recoder.receive(packet)
+        received_bytes = 0
+        done = asyncio.Event()
+
+        async def _sink(reader, writer) -> None:
+            nonlocal received_bytes
+            try:
+                while True:
+                    chunk = await reader.read(1 << 16)
+                    if not chunk:
+                        break
+                    received_bytes += len(chunk)
+                    if received_bytes >= expected_bytes:
+                        done.set()
+            except (asyncio.CancelledError, ConnectionResetError):
+                pass  # teardown: server.close() cancels the handler
+            finally:
+                writer.close()
+
+        server = await asyncio.start_server(_sink, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        _reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        sender = PacketSender(writer, column=0, sender_id=5,
+                              limit=4 * burst, coalesce=batched)
+        pump = asyncio.ensure_future(sender.run())
+        start = asyncio.get_running_loop().time()
+        produced = 0
+        while produced < total_frames:
+            count = min(burst, total_frames - produced)
+            if batched:
+                frames = encode_mixture_frames(
+                    recoder.emit_rows(count, 0),
+                    generation_size, origin=recoder.node_id,
+                )
+                for frame in frames:
+                    sender.enqueue_frame(frame)
+            else:
+                for _ in range(count):
+                    sender.enqueue(recoder.emit(0))
+            produced += count
+            while sender._queue:
+                await asyncio.sleep(0)
+        await writer.drain()
+        await asyncio.wait_for(done.wait(), timeout=60)
+        elapsed = asyncio.get_running_loop().time() - start
+        assert sender.stats.dropped == 0
+        frames_per_flush = (
+            sender.stats.sent / sender.stats.flushes
+            if sender.stats.flushes else 0.0
+        )
+        sender.close()
+        await pump
+        server.close()
+        await server.wait_closed()
+        return total_frames / elapsed, frames_per_flush
+
+    async def _run_both() -> dict[str, float]:
+        packets_per_s, frames_per_flush = await _measure(batched=True)
+        scalar_per_s, scalar_flush = await _measure(batched=False)
+        return {
+            "packets_per_s": packets_per_s,
+            "packets_per_s_scalar": scalar_per_s,
+            "speedup": packets_per_s / scalar_per_s,
+            "frames_per_flush": frames_per_flush,
+            "frames_per_flush_scalar": scalar_flush,
+        }
+
+    return asyncio.run(_run_both())
+
+
 def bench_slot_loop(quick: bool) -> dict[str, float]:
     """E7-style broadcast run: k=16, d=2, N=64 peers, 5% loss."""
     k, d, n = (8, 2, 16) if quick else (16, 2, 64)
@@ -289,6 +560,9 @@ def run(quick: bool) -> dict[str, dict[str, float]]:
     return {
         "decode": bench_decode(budget_s, payload_size),
         "recode": bench_recode(budget_s, payload_size),
+        "wire_batch": bench_wire_batch(budget_s, payload_size),
+        "recode_batch": bench_recode_batch(budget_s),
+        "net_throughput": bench_net_throughput(quick),
         "slot_loop": bench_slot_loop(quick),
         "runtime_overhead": bench_runtime_overhead(quick),
     }

@@ -26,6 +26,25 @@ import sys
 import numpy as np
 
 
+def _install_event_loop(no_uvloop: bool) -> str:
+    """Install uvloop's event-loop policy when available; return the name.
+
+    The live-transport commands (``serve``/``join``/``demo``) opt into
+    uvloop whenever it is importable — bench runs on a stock interpreter
+    simply fall back to asyncio.  ``--no-uvloop`` forces the fallback so
+    A/B comparisons can pin the loop; the chosen loop is always printed
+    at startup so recorded runs say which one they used.
+    """
+    if no_uvloop:
+        return "asyncio"
+    try:
+        import uvloop
+    except ImportError:
+        return "asyncio"
+    uvloop.install()
+    return "uvloop"
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from . import workloads
     from .sim import run_session
@@ -115,6 +134,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     """One-process live deployment: server + N peers over loopback TCP."""
     from .net import LoopbackConfig, run_loopback_sync
 
+    loop_name = _install_event_loop(args.no_uvloop)
     config = LoopbackConfig(
         peers=args.peers, k=args.k, d=args.d,
         generation_size=args.g, payload_size=args.payload,
@@ -122,6 +142,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         insert_mode=args.insert_mode, deadline=args.deadline,
         kill_peer=args.kill if args.kill >= 0 else None,
     )
+    print(f"event loop: {loop_name}")
     print(f"loopback demo: {config.peers} peers  k={config.k} d={config.d}  "
           f"{config.generations} generations of "
           f"g={config.generation_size}x{config.payload_size}B  "
@@ -187,6 +208,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .coding.generation import GenerationParams
     from .net import ServerNode
 
+    loop_name = _install_event_loop(args.no_uvloop)
     params = GenerationParams(args.g, args.payload)
     rng = np.random.default_rng(args.seed)
     content = rng.integers(
@@ -194,6 +216,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ).tobytes()
 
     async def _run() -> int:
+        print(f"event loop: {loop_name}")
         server = ServerNode(
             content, params, k=args.k, d=args.d,
             host=args.host, port=args.port, seed=args.seed,
@@ -226,7 +249,10 @@ def _cmd_join(args: argparse.Namespace) -> int:
     """Join a running server as one live peer; exit when decoded."""
     from .net import PeerNode
 
+    loop_name = _install_event_loop(args.no_uvloop)
+
     async def _run() -> int:
+        print(f"event loop: {loop_name}")
         done = asyncio.Event()
         peer = PeerNode(args.host, args.port, seed=args.seed,
                         on_complete=lambda _peer: done.set())
@@ -366,6 +392,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="kill this peer mid-run to exercise repair (-1 = off)")
     demo.add_argument("--deadline", type=float, default=60.0,
                       help="hard wall-clock limit in seconds")
+    demo.add_argument("--no-uvloop", action="store_true", dest="no_uvloop",
+                      help="stay on the stock asyncio event loop")
     demo.set_defaults(func=_cmd_demo)
 
     chaos = sub.add_parser(
@@ -397,6 +425,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds between emission rounds")
     serve.add_argument("--duration", type=float, default=0.0,
                        help="stop after this many seconds (0 = run forever)")
+    serve.add_argument("--no-uvloop", action="store_true", dest="no_uvloop",
+                       help="stay on the stock asyncio event loop")
     serve.set_defaults(func=_cmd_serve)
 
     join = sub.add_parser("join", help="join a live server as one peer")
@@ -407,6 +437,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="give up decoding after this many seconds")
     join.add_argument("--linger", type=float, default=0.0,
                       help="keep forwarding this long after decoding")
+    join.add_argument("--no-uvloop", action="store_true", dest="no_uvloop",
+                      help="stay on the stock asyncio event loop")
     join.set_defaults(func=_cmd_join)
 
     overlay = sub.add_parser("overlay", help="build an overlay and report health")

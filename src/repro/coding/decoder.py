@@ -24,7 +24,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..gf.kernels import Workspace, addmul_rows, eliminate, mix_rows
+from ..gf.kernels import Workspace, addmul_rows, combine_rows, eliminate, mix_rows
 from ..gf.tables import FIELD_SIZE, INV, MUL
 from .generation import GenerationParams, join_content
 from .packet import CodedPacket, SourceBlock
@@ -144,6 +144,62 @@ class GenerationDecoder:
             coefficients=combined[:size].copy(),
             payload=combined[size:].copy(),
         )
+
+    def random_combinations(self, rng: np.random.Generator,
+                            count: int) -> list[CodedPacket]:
+        """``count`` fresh uniform mixtures in one batched kernel call.
+
+        RNG-stream compatible with ``count`` sequential calls to
+        :meth:`random_combination`: the scalar vectors are drawn one
+        draw per mixture in the same order, so under a shared seed the
+        emitted packets are bit-identical — only the GF work is batched
+        (one :func:`~repro.gf.kernels.combine_rows` gemm instead of
+        ``count`` separate mixes).  Returns ``[]`` on an empty basis.
+        """
+        if self.rank == 0 or count <= 0:
+            return []
+        scalars = np.empty((count, self.rank), dtype=np.uint8)
+        for i in range(count):
+            scalars[i] = rng.integers(1, FIELD_SIZE, size=self.rank,
+                                      dtype=np.uint8)
+        return self.mixtures(scalars)
+
+    def mixture_rows(self, scalars: np.ndarray) -> np.ndarray:
+        """Raw mixture matrix ``(m, size + payload)`` for pre-drawn scalars.
+
+        One :func:`~repro.gf.kernels.combine_rows` gemm; row ``i`` is
+        ``[coefficients | payload]`` of mixture ``i``.  The returned
+        array is freshly allocated (only the gemm intermediates live in
+        the workspace), so callers may keep views into it — this is the
+        zero-copy source both for batched packets (:meth:`mixtures`)
+        and for direct wire-frame encoding
+        (:func:`repro.net.framing.encode_mixture_frames`).
+        """
+        return combine_rows(scalars, self._rows[: self.rank],
+                            workspace=self._workspace)
+
+    def mixtures(self, scalars: np.ndarray,
+                 origin: int = -1) -> list[CodedPacket]:
+        """Mix pre-drawn scalar rows over the basis, one gemm for all.
+
+        ``scalars`` is ``(m, rank)`` uint8 — callers that must
+        interleave their own RNG draws (the recoder's generation picks)
+        draw the rows themselves and batch only the mixing here.
+        ``origin`` is stamped on every packet at construction so callers
+        need no second pass over the batch.
+        """
+        if scalars.shape[0] == 0:
+            return []
+        combined = self.mixture_rows(scalars)
+        size = self.params.generation_size
+        generation = self.generation
+        coeffs = combined[:, :size]
+        payloads = combined[:, size:]
+        trusted = CodedPacket.trusted
+        return [
+            trusted(generation, coeffs[i], payloads[i], origin=origin)
+            for i in range(scalars.shape[0])
+        ]
 
     def basis_packet(self, index: int) -> CodedPacket:
         """One buffered basis row as a packet (no full-list materialisation)."""

@@ -43,6 +43,25 @@ class CodedPacket:
         self.coefficients = np.asarray(self.coefficients, dtype=np.uint8)
         self.payload = np.asarray(self.payload, dtype=np.uint8)
 
+    @classmethod
+    def trusted(cls, generation: int, coefficients: np.ndarray,
+                payload: np.ndarray, origin: int = -1,
+                hop_count: int = 0) -> "CodedPacket":
+        """Construct without the ``__post_init__`` coercion.
+
+        For hot paths whose operands are already ``uint8`` arrays straight
+        out of the GF kernels — the dataclass ``__init__`` plus two
+        ``np.asarray`` calls are a measurable fraction of a batched emit,
+        and coercion of an array that is already ``uint8`` is a no-op.
+        """
+        self = object.__new__(cls)
+        self.generation = generation
+        self.coefficients = coefficients
+        self.payload = payload
+        self.origin = origin
+        self.hop_count = hop_count
+        return self
+
     @property
     def generation_size(self) -> int:
         """Number of source packets in this packet's generation."""
@@ -64,10 +83,15 @@ class CodedPacket:
         return not self.coefficients.any()
 
     def is_systematic(self) -> bool:
-        """True if this packet is an unmixed original source packet."""
-        return int(np.count_nonzero(self.coefficients)) == 1 and (
-            int(self.coefficients.max()) == 1
-        )
+        """True if this packet is an unmixed original source packet.
+
+        Exactly one nonzero coefficient, equal to 1 — tested with bytes
+        ops (one tiny copy, two C-level counts) because this runs once
+        per serialised frame and numpy reductions cost microseconds at
+        these vector sizes.
+        """
+        raw = self.coefficients.tobytes()
+        return raw.count(1) == 1 and raw.count(0) == len(raw) - 1
 
     def copy(self) -> "CodedPacket":
         """Deep copy (the simulator hands packets across node boundaries)."""

@@ -8,6 +8,10 @@ reduces to four primitives over ``uint8`` arrays:
   ``dest[i] ^= scalars[i] * src`` for many rows at once;
 * :func:`mix_rows` — ``XOR_i scalars[i] * rows[i]``, the random-mixture
   primitive behind encoding, recoding and forward elimination;
+* :func:`combine_rows` — the batched-combination gemm
+  ``coeffs (m, n) @ rows (n, width)`` over GF(256): many independent
+  mixtures of one basis in a single gather + reduction (the
+  ``emit_batch`` fast path);
 * :func:`gemm` — LOG/EXP-based matrix–matrix multiply with zero masking.
 
 Contract (see ``docs/performance.md``): all operands are ``uint8``;
@@ -205,6 +209,51 @@ def eliminate(row: np.ndarray, basis: np.ndarray, pivot_cols: np.ndarray,
     ws = workspace if workspace is not None else Workspace()
     acc = mix_rows(scalars, basis, out=ws.row(row.shape[0]), workspace=ws)
     np.bitwise_xor(row, acc, out=row)
+
+
+def combine_rows(coeffs: np.ndarray, rows: np.ndarray,
+                 out: Optional[np.ndarray] = None,
+                 workspace: Optional[Workspace] = None,
+                 block_elems: int = 1 << 22) -> np.ndarray:
+    """Batched-combination gemm: ``out[i] = XOR_j coeffs[i, j] * rows[j]``.
+
+    The many-mixtures form of :func:`mix_rows` — a GF(256) matrix–matrix
+    product ``coeffs (m, n) @ rows (n, width) -> (m, width)`` computed
+    with the same uint16 flat-gather trick as the scalar kernels (one
+    index build, one bounds-check-free table gather, one XOR reduction
+    per block), so ``m`` mixtures cost one numpy call chain instead of
+    ``m`` of them.  Bit-identical to ``m`` separate ``mix_rows`` calls:
+    GF arithmetic is exact, only the batching changes.
+
+    ``block_elems`` bounds the intermediate product: batches whose
+    ``m * n * width`` exceeds it are processed in row blocks, keeping
+    scratch memory flat no matter how large the fan-out gets.
+    """
+    coeffs = np.ascontiguousarray(coeffs, dtype=np.uint8)
+    if coeffs.ndim != 2 or rows.ndim != 2:
+        raise ValueError("combine_rows expects 2-D coeffs and rows")
+    m, n = coeffs.shape
+    if n != rows.shape[0]:
+        raise ValueError(f"shape mismatch {coeffs.shape} @ {rows.shape}")
+    width = rows.shape[1]
+    if out is None:
+        out = np.empty((m, width), dtype=np.uint8)
+    if m == 0:
+        return out
+    if n == 0:
+        out[...] = 0
+        return out
+    ws = workspace if workspace is not None else Workspace()
+    step = m if n * width == 0 else max(1, block_elems // (n * width))
+    for i0 in range(0, m, step):
+        i1 = min(i0 + step, m)
+        chunk = i1 - i0
+        idx = ws.u16(chunk * n, width).reshape(chunk, n, width)
+        np.add(SHIFT8[coeffs[i0:i1]][:, :, None], rows[None, :, :], out=idx)
+        prod = ws.u8(chunk * n, width).reshape(chunk, n, width)
+        MUL_FLAT.take(idx.reshape(-1), out=prod.reshape(-1), mode="clip")
+        np.bitwise_xor.reduce(prod, axis=1, out=out[i0:i1])
+    return out
 
 
 def gemm(a: np.ndarray, b: np.ndarray, block: int = 32) -> np.ndarray:

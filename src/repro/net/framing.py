@@ -25,8 +25,20 @@ import asyncio
 import struct
 from typing import Iterator, Optional, Union
 
+import numpy as np
+
+from ..coding.buffers import DEFAULT_POOL, BufferPool
 from ..coding.packet import CodedPacket
-from ..coding.wire import WireFormatError, decode_packet, encode_packet
+from ..coding.wire import (
+    WireFormatError,
+    _uniform_geometry,
+    decode_packet,
+    decode_packet_from,
+    encode_mixture_rows,
+    encode_packet_into,
+    encode_packets_rows,
+    frame_size,
+)
 from .control import ControlFormatError, decode_control, encode_control
 from .transport import ByteStreamReader, ByteStreamWriter
 
@@ -36,7 +48,10 @@ __all__ = [
     "KIND_CONTROL",
     "KIND_DATA",
     "MAX_FRAME_BYTES",
+    "encode_data_frame",
+    "encode_data_frames",
     "encode_frame",
+    "encode_mixture_frames",
     "read_message",
     "send_control",
     "send_packet",
@@ -70,6 +85,134 @@ def encode_frame(kind: int, body: bytes) -> bytes:
     return _PREFIX.pack(len(body), kind) + body
 
 
+def encode_data_frame(packet: CodedPacket) -> bytes:
+    """Serialise one packet as a length-prefixed data frame.
+
+    Prefix and wire body are packed into a single buffer — no
+    intermediate body ``bytes`` and no prefix-plus-body concatenation.
+    """
+    body = frame_size(packet.generation_size, packet.payload_size)
+    if body > MAX_FRAME_BYTES:
+        raise FramingError(f"frame body too large: {body} bytes")
+    buf = bytearray(_PREFIX.size + body)
+    _PREFIX.pack_into(buf, 0, body, KIND_DATA)
+    encode_packet_into(packet, buf, _PREFIX.size)
+    return bytes(buf)
+
+
+def encode_data_frames(
+    packets: list[CodedPacket],
+    pool: Optional[BufferPool] = None,
+) -> list[bytes]:
+    """Serialise a batch of packets as length-prefixed data frames.
+
+    This is the encode-once fan-out primitive: every frame is written
+    back-to-back into one pooled scratch buffer, then sliced out as an
+    immutable ``bytes`` object that any number of sender queues may
+    share — a packet fanned out to many children is serialised exactly
+    once.  The scratch buffer is released back to ``pool`` (the wire
+    layer's default pool if none is given) before returning.
+    """
+    if not packets:
+        return []
+    scratch_pool = pool if pool is not None else DEFAULT_POOL
+    geometry = _uniform_geometry(packets) if len(packets) > 1 else None
+    if geometry is not None:
+        # Uniform batch (every emit_batch product): broadcast the
+        # constant prefix across all frames and hand the bodies to the
+        # wire layer's vectorised row encoder in one call.
+        body = frame_size(*geometry)
+        if body > MAX_FRAME_BYTES:
+            raise FramingError(f"frame body too large: {body} bytes")
+        m = len(packets)
+        length = _PREFIX.size + body
+        buf = scratch_pool.lease(m * length)
+        try:
+            rows = np.frombuffer(buf, dtype=np.uint8,
+                                 count=m * length).reshape(m, length)
+            rows[:, : _PREFIX.size] = np.frombuffer(
+                _PREFIX.pack(body, KIND_DATA), dtype=np.uint8
+            )
+            encode_packets_rows(packets, rows[:, _PREFIX.size:])
+            blob = bytes(memoryview(buf)[: m * length])
+        finally:
+            scratch_pool.release(buf)
+        return [blob[i * length:(i + 1) * length] for i in range(m)]
+    sizes = [frame_size(p.generation_size, p.payload_size) for p in packets]
+    for body in sizes:
+        if body > MAX_FRAME_BYTES:
+            raise FramingError(f"frame body too large: {body} bytes")
+    total = sum(sizes) + _PREFIX.size * len(sizes)
+    buf = scratch_pool.lease(total)
+    try:
+        view = memoryview(buf)
+        frames: list[bytes] = []
+        offset = 0
+        for packet, body in zip(packets, sizes):
+            _PREFIX.pack_into(buf, offset, body, KIND_DATA)
+            end = encode_packet_into(packet, buf, offset + _PREFIX.size)
+            frames.append(bytes(view[offset:end]))
+            offset = end
+        return frames
+    finally:
+        scratch_pool.release(buf)
+
+
+def encode_mixture_frames(
+    groups: list,
+    generation_size: int,
+    origin: int,
+    pool: Optional[BufferPool] = None,
+) -> list[bytes]:
+    """Encode recoder mixture groups straight to length-prefixed frames.
+
+    ``groups`` is :meth:`repro.coding.recoder.Recoder.emit_rows` output —
+    ``[(generation, rows, positions), ...]`` with every ``rows`` matrix
+    sharing one ``(g, n)`` geometry (they mix one content object).  The
+    mixtures never become :class:`~repro.coding.packet.CodedPacket`
+    objects: each group's matrix is framed with one vectorised
+    :func:`~repro.coding.wire.encode_mixture_rows` call into a single
+    pooled buffer, and the frames are returned as immutable ``bytes``
+    in draw order (``positions`` restores the interleaving).  This is
+    the fused emit-to-wire path the batched peers use.
+    """
+    total = sum(len(positions) for _, _, positions in groups)
+    if total == 0:
+        return []
+    width = groups[0][1].shape[1]
+    body = frame_size(generation_size, width - generation_size)
+    if body > MAX_FRAME_BYTES:
+        raise FramingError(f"frame body too large: {body} bytes")
+    length = _PREFIX.size + body
+    scratch_pool = pool if pool is not None else DEFAULT_POOL
+    buf = scratch_pool.lease(total * length)
+    try:
+        arr = np.frombuffer(buf, dtype=np.uint8,
+                            count=total * length).reshape(total, length)
+        arr[:, : _PREFIX.size] = np.frombuffer(
+            _PREFIX.pack(body, KIND_DATA), dtype=np.uint8
+        )
+        slot = 0
+        slots: list[tuple[int, list[int]]] = []
+        for generation, rows, positions in groups:
+            count = len(positions)
+            encode_mixture_rows(
+                arr[slot:slot + count, _PREFIX.size:], rows,
+                generation, origin, generation_size,
+            )
+            slots.append((slot, positions))
+            slot += count
+        blob = bytes(memoryview(buf)[: total * length])
+    finally:
+        scratch_pool.release(buf)
+    frames: list[bytes] = [b""] * total
+    for slot, positions in slots:
+        for j, position in enumerate(positions):
+            start = (slot + j) * length
+            frames[position] = blob[start:start + length]
+    return frames
+
+
 def _parse_body(kind: int, body: bytes) -> Message:
     try:
         if kind == KIND_DATA:
@@ -87,18 +230,31 @@ class FrameBuffer:
     Feed it whatever chunks the socket hands you; iterate the complete
     messages.  Raises :class:`FramingError` on protocol violations, at
     which point the connection should be dropped.
+
+    Consumption is cursor-based: parsing a message advances an offset
+    into the accumulated buffer instead of rebuilding the tail, so
+    draining F buffered frames costs O(bytes) rather than the
+    O(bytes x F) of the old ``del buffer[:total]`` per message; the
+    consumed prefix is compacted away on the next ``feed``.  Data
+    bodies are decoded in place through the wire layer's offset cursor
+    (:func:`repro.coding.wire.decode_packet_from`) — no per-frame body
+    slice.
     """
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        self._cursor = 0
 
     def feed(self, data: bytes) -> None:
         """Append raw bytes received from the stream."""
+        if self._cursor:
+            del self._buffer[: self._cursor]
+            self._cursor = 0
         self._buffer.extend(data)
 
     def pending(self) -> int:
         """Bytes buffered but not yet consumed."""
-        return len(self._buffer)
+        return len(self._buffer) - self._cursor
 
     def messages(self) -> Iterator[Message]:
         """Yield every complete message currently buffered."""
@@ -110,17 +266,34 @@ class FrameBuffer:
 
     def next_message(self) -> Optional[Message]:
         """Pop one complete message, or None if more bytes are needed."""
-        if len(self._buffer) < _PREFIX.size:
+        buf, cursor = self._buffer, self._cursor
+        if len(buf) - cursor < _PREFIX.size:
             return None
-        length, kind = _PREFIX.unpack_from(self._buffer)
+        length, kind = _PREFIX.unpack_from(buf, cursor)
         if length > MAX_FRAME_BYTES:
             raise FramingError(f"frame body too large: {length} bytes")
         total = _PREFIX.size + length
-        if len(self._buffer) < total:
+        if len(buf) - cursor < total:
             return None
-        body = bytes(self._buffer[_PREFIX.size:total])
-        del self._buffer[:total]
-        return _parse_body(kind, body)
+        body_start = cursor + _PREFIX.size
+        self._cursor = cursor + total  # the frame is consumed even if bad
+        if kind == KIND_DATA:
+            try:
+                packet, end = decode_packet_from(buf, body_start)
+            except WireFormatError as exc:
+                raise FramingError(f"bad frame body: {exc}") from exc
+            if end != cursor + total:
+                raise FramingError(
+                    f"bad frame body: framed {length} bytes, wire frame "
+                    f"spans {end - body_start}"
+                )
+            return packet
+        if kind == KIND_CONTROL:
+            try:
+                return decode_control(bytes(buf[body_start:cursor + total]))
+            except ControlFormatError as exc:
+                raise FramingError(f"bad frame body: {exc}") from exc
+        raise FramingError(f"unknown frame kind {kind}")
 
 
 # ----------------------------------------------------------------------
@@ -152,7 +325,7 @@ async def read_message(reader: ByteStreamReader) -> Optional[Message]:
 
 def write_packet_nowait(writer: ByteStreamWriter, packet: CodedPacket) -> None:
     """Queue a data frame on the writer without draining."""
-    writer.write(encode_frame(KIND_DATA, encode_packet(packet)))
+    writer.write(encode_data_frame(packet))
 
 
 def write_control_nowait(writer: ByteStreamWriter, message: object) -> None:

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..coding.generation import GenerationParams
 from ..sim.links import LinkStats
-from ..sim.report import NodeReport, RunReport
+from ..sim.report import NodeReport, RunReport, TransportReport
 from .peer import PeerNode
 from .server import ServerNode
 
@@ -49,6 +49,9 @@ class LoopbackConfig:
     silence_timeout: float = 0.4
     probe_timeout: float = 0.2
     deadline: float = 30.0
+    #: Batched data plane (emit_batch + encode-once + coalesced flush);
+    #: False runs the scalar per-packet path for A/B measurement.
+    batched: bool = True
     #: Index of a peer to kill mid-run (None = no failure injection).
     kill_peer: Optional[int] = None
     #: Fraction of mean decode progress at which the kill fires.
@@ -98,6 +101,7 @@ async def run_loopback(config: LoopbackConfig) -> LoopbackResult:
         queue_limit=config.queue_limit,
         keepalive_interval=config.keepalive_interval,
         probe_timeout=config.probe_timeout,
+        batched=config.batched,
     )
     await server.start()
 
@@ -147,6 +151,7 @@ async def run_loopback(config: LoopbackConfig) -> LoopbackResult:
                 keepalive_interval=config.keepalive_interval,
                 silence_timeout=config.silence_timeout,
                 on_complete=_record_completion,
+                batched=config.batched,
             )
             await peer.start()
             peers.append(peer)
@@ -197,11 +202,18 @@ async def run_loopback(config: LoopbackConfig) -> LoopbackResult:
         sum(s.enqueued for s in all_sender_stats),
         sum(s.enqueued - s.dropped for s in all_sender_stats),
     )
+    transport = TransportReport(
+        frames_sent=sum(s.sent for s in all_sender_stats),
+        bytes_sent=sum(s.bytes_sent for s in all_sender_stats),
+        flushes=sum(s.flushes for s in all_sender_stats),
+        keepalives=sum(s.keepalives for s in all_sender_stats),
+    )
     report = RunReport(
         slots=server.stats.rounds,
         nodes=nodes,
         link_stats=link_stats,
         server_packets=server.stats.packets_sent,
+        transport=transport,
     )
     alive = [n for i, n in enumerate(nodes) if i != killed]
     return LoopbackResult(

@@ -48,7 +48,13 @@ from ..protocol_sim.messages import (
     ThreadRemoved,
 )
 from .control import DataHello, PeerLocator, SessionInfo
-from .framing import FramingError, read_message, send_control, write_control_nowait
+from .framing import (
+    FramingError,
+    encode_mixture_frames,
+    read_message,
+    send_control,
+    write_control_nowait,
+)
 from .streams import PacketSender, SenderStats
 from .transport import AsyncioTransport, ByteStreamWriter, Listener, Transport
 
@@ -126,6 +132,10 @@ class PeerNode:
             decodes.
         transport: Network + clock seam (real asyncio TCP by default;
             the chaos harness injects a virtual network).
+        batched: Use the batched data plane (one recode gemm per
+            fan-out, encode-once frames, coalesced flushes).  Off
+            reproduces the scalar per-packet path — RNG-stream and
+            wire-byte identical, kept for A/B throughput measurement.
     """
 
     def __init__(
@@ -142,6 +152,7 @@ class PeerNode:
         reconnect_max: float = 2.0,
         on_complete: Optional[Callable[["PeerNode"], None]] = None,
         transport: Optional[Transport] = None,
+        batched: bool = True,
     ) -> None:
         self.transport: Transport = (
             transport if transport is not None else AsyncioTransport()
@@ -158,6 +169,7 @@ class PeerNode:
         self.reconnect_base = reconnect_base
         self.reconnect_max = reconnect_max
         self.on_complete = on_complete
+        self.batched = batched
         self.stats = PeerStats()
         self.completed = False
         self.server_lost = False
@@ -442,7 +454,7 @@ class PeerNode:
         sender = PacketSender(
             writer, column=hello.column, sender_id=self.node_id or -1,
             limit=self.queue_limit, keepalive_interval=self.keepalive_interval,
-            clock=self.clock,
+            clock=self.clock, coalesce=self.batched,
         )
         self.sender_stats.append(sender.stats)
         self._children[key] = sender
@@ -463,12 +475,28 @@ class PeerNode:
         self.stats.received += 1
         if self.recoder.receive(packet):
             self.stats.innovative += 1
-        for sender in list(self._children.values()):
-            mixture = self.recoder.emit()
-            if mixture is None:
-                break
-            sender.enqueue(mixture)
-            self.stats.forwarded += 1
+        children = list(self._children.values())
+        if self.batched:
+            # Every child still gets its own fresh mixture (the paper's
+            # recode-and-forward), but the GF mixing collapses to one
+            # gemm per generation and the mixtures go straight from the
+            # gemm output to wire frames — no intermediate packet
+            # objects, each frame serialised exactly once.
+            groups = self.recoder.emit_rows(len(children))
+            frames = encode_mixture_frames(
+                groups, self.recoder.params.generation_size,
+                origin=self.recoder.node_id,
+            )
+            for sender, frame in zip(children, frames):
+                sender.enqueue_frame(frame)
+                self.stats.forwarded += 1
+        else:
+            for sender in children:
+                mixture = self.recoder.emit()
+                if mixture is None:
+                    break
+                sender.enqueue(mixture)
+                self.stats.forwarded += 1
         if not self.completed and self.recoder.decoder.is_complete:
             self.completed = True
             if self.on_complete is not None:

@@ -46,7 +46,12 @@ from ..protocol_sim.messages import (
     SetParent,
 )
 from .control import DataHello, PeerLocator, SessionInfo
-from .framing import FramingError, read_message, write_control_nowait
+from .framing import (
+    FramingError,
+    encode_data_frames,
+    read_message,
+    write_control_nowait,
+)
 from .streams import PacketSender, SenderStats
 from .transport import AsyncioTransport, ByteStreamWriter, Listener, Transport
 
@@ -97,6 +102,10 @@ class ServerNode:
         probe_timeout: Grace period for a suspect to answer a probe.
         transport: Network + clock seam (real asyncio TCP by default;
             the chaos harness injects a virtual network).
+        batched: Use the batched data plane (one mixing gemm per round,
+            encode-once frames, coalesced flushes).  Off reproduces the
+            scalar per-packet path — RNG-stream and wire-byte identical,
+            kept for A/B throughput measurement.
     """
 
     def __init__(
@@ -115,6 +124,7 @@ class ServerNode:
         keepalive_interval: float = 0.25,
         probe_timeout: float = 0.5,
         transport: Optional[Transport] = None,
+        batched: bool = True,
     ) -> None:
         self.transport: Transport = (
             transport if transport is not None else AsyncioTransport()
@@ -131,6 +141,7 @@ class ServerNode:
         self.queue_limit = queue_limit
         self.keepalive_interval = keepalive_interval
         self.probe_timeout = probe_timeout
+        self.batched = batched
         self.stats = ServerStats()
         self._peers: dict[int, _PeerHandle] = {}
         self._column_senders: dict[int, PacketSender] = {}
@@ -192,11 +203,24 @@ class ServerNode:
                 await self.clock.sleep(self.send_interval)
                 generation = self.stats.rounds % generation_count
                 self.stats.rounds += 1
-                for sender in list(self._column_senders.values()):
-                    if sender.closed:
-                        continue
-                    sender.enqueue(self.encoder.emit(generation))
-                    self.stats.packets_sent += 1
+                senders = [
+                    s for s in list(self._column_senders.values())
+                    if not s.closed
+                ]
+                if not senders:
+                    continue
+                if self.batched:
+                    # One mixing gemm for the whole round, one pooled
+                    # serialisation pass, immutable frames shared with
+                    # the pumps.
+                    packets = self.encoder.emit_batch(len(senders), generation)
+                    for sender, frame in zip(senders, encode_data_frames(packets)):
+                        sender.enqueue_frame(frame)
+                        self.stats.packets_sent += 1
+                else:
+                    for sender in senders:
+                        sender.enqueue(self.encoder.emit(generation))
+                        self.stats.packets_sent += 1
         except asyncio.CancelledError:
             pass
 
@@ -233,7 +257,7 @@ class ServerNode:
         sender = PacketSender(
             writer, column=column, sender_id=SERVER,
             limit=self.queue_limit, keepalive_interval=self.keepalive_interval,
-            clock=self.clock,
+            clock=self.clock, coalesce=self.batched,
         )
         self.sender_stats.append(sender.stats)
         self._column_senders[column] = sender

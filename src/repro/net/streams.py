@@ -9,6 +9,17 @@ sender's buffer, so any later packet carries at least as much
 information as the one evicted; nothing is retransmitted and nothing is
 tracked.
 
+The queue holds *pre-encoded* immutable frame bytes rather than packet
+objects: a packet fanned out to several children is serialised once
+(see :func:`repro.net.framing.encode_data_frames`) and the same bytes
+object sits in every child's queue.  At each wakeup the pump coalesces
+everything queued into a single ``writelines`` flush when the writer
+supports it (a real :class:`asyncio.StreamWriter` does); writers
+without ``writelines`` — the chaos harness's virtual transport, whose
+loss/corruption injection is aligned to individual write calls — get
+one ``write`` per frame, preserving per-frame delivery traces
+bit-for-bit.
+
 The pump also emits a :class:`~repro.protocol_sim.messages.KeepAlive`
 control frame when the data flow pauses, so an idle-but-healthy thread
 is distinguishable from a dead parent (the paper's silence-based
@@ -24,7 +35,8 @@ from typing import Deque, Optional
 
 from ..coding.packet import CodedPacket
 from ..protocol_sim.messages import KeepAlive
-from .framing import write_control_nowait, write_packet_nowait
+from .control import encode_control
+from .framing import KIND_CONTROL, encode_data_frame, encode_frame
 from .transport import AsyncioClock, ByteStreamWriter, Clock
 
 __all__ = ["PacketSender", "SenderStats"]
@@ -32,12 +44,19 @@ __all__ = ["PacketSender", "SenderStats"]
 
 @dataclass
 class SenderStats:
-    """Delivery accounting for one outbound pump."""
+    """Delivery accounting for one outbound pump.
+
+    ``bytes_sent`` counts every byte written (data frames and
+    keep-alives); ``flushes`` counts drain cycles, so ``sent /
+    flushes`` is the observed frames-per-flush coalescing ratio.
+    """
 
     enqueued: int = 0
     dropped: int = 0
     sent: int = 0
     keepalives: int = 0
+    bytes_sent: int = 0
+    flushes: int = 0
 
 
 class PacketSender:
@@ -52,6 +71,10 @@ class PacketSender:
             is sent (None disables keep-alives).
         clock: Timeline the idle timer runs on (real time by default;
             the chaos harness injects a virtual clock).
+        coalesce: Flush the whole queue with one ``writelines`` call
+            when the writer supports it.  Off, every frame is written
+            individually — the pre-batching behaviour, kept for A/B
+            throughput measurement.
     """
 
     def __init__(
@@ -63,6 +86,7 @@ class PacketSender:
         limit: int = 32,
         keepalive_interval: Optional[float] = None,
         clock: Optional[Clock] = None,
+        coalesce: bool = True,
     ) -> None:
         if limit < 1:
             raise ValueError("queue limit must be >= 1")
@@ -70,10 +94,11 @@ class PacketSender:
         self.sender_id = sender_id
         self.stats = SenderStats()
         self._writer = writer
+        self._writelines = getattr(writer, "writelines", None) if coalesce else None
         self._limit = limit
         self._keepalive_interval = keepalive_interval
         self._clock = clock if clock is not None else AsyncioClock()
-        self._queue: Deque[CodedPacket] = deque()
+        self._queue: Deque[bytes] = deque()
         self._wakeup = asyncio.Event()
         self._closed = False
 
@@ -82,9 +107,20 @@ class PacketSender:
         return self._closed
 
     def enqueue(self, packet: CodedPacket) -> bool:
-        """Queue a packet; evict the oldest when full.
+        """Serialise and queue a packet; evict the oldest when full.
 
         Returns True if the packet was queued without an eviction.
+        """
+        if self._closed:
+            return False
+        return self.enqueue_frame(encode_data_frame(packet))
+
+    def enqueue_frame(self, frame: bytes) -> bool:
+        """Queue an already-encoded data frame; evict the oldest when full.
+
+        The encode-once fan-out entry point: callers serialise a packet
+        a single time and hand the same immutable bytes to every child's
+        pump.  Returns True if the frame was queued without an eviction.
         """
         if self._closed:
             return False
@@ -94,7 +130,7 @@ class PacketSender:
             self._queue.popleft()
             self.stats.dropped += 1
             clean = False
-        self._queue.append(packet)
+        self._queue.append(frame)
         self._wakeup.set()
         return clean
 
@@ -112,9 +148,16 @@ class PacketSender:
                         continue  # idle timeout: keep-alive sent
                 if self._closed:
                     break
-                while self._queue:
-                    write_packet_nowait(self._writer, self._queue.popleft())
-                    self.stats.sent += 1
+                frames = list(self._queue)
+                self._queue.clear()
+                if self._writelines is not None:
+                    self._writelines(frames)
+                else:
+                    for frame in frames:
+                        self._writer.write(frame)
+                self.stats.sent += len(frames)
+                self.stats.bytes_sent += sum(len(f) for f in frames)
+                self.stats.flushes += 1
                 await self._writer.drain()
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass
@@ -133,10 +176,13 @@ class PacketSender:
             )
             return True
         except asyncio.TimeoutError:
-            write_control_nowait(
-                self._writer,
-                KeepAlive(column=self.column, sender=self.sender_id),
+            frame = encode_frame(
+                KIND_CONTROL,
+                encode_control(KeepAlive(column=self.column, sender=self.sender_id)),
             )
+            self._writer.write(frame)
             self.stats.keepalives += 1
+            self.stats.bytes_sent += len(frame)
+            self.stats.flushes += 1
             await self._writer.drain()
             return False

@@ -13,6 +13,7 @@ from repro.net.framing import (
     KIND_DATA,
     FrameBuffer,
     FramingError,
+    encode_data_frame,
     encode_frame,
     read_message,
 )
@@ -27,6 +28,13 @@ def _packet(generation=0, origin=3):
         payload=np.arange(10, dtype=np.uint8),
         origin=origin,
     )
+
+
+def _decode_queued(frame: bytes) -> CodedPacket:
+    """Decode one length-prefixed data frame from a sender queue."""
+    buffer = FrameBuffer()
+    buffer.feed(frame)
+    return buffer.next_message()
 
 
 class TestFrameBuffer:
@@ -141,8 +149,10 @@ class TestPacketSenderQueue:
         assert sender.stats.enqueued == 5
         assert sender.stats.dropped == 2
         # The three newest mixtures survive — RLNC makes the evicted
-        # two redundant by construction.
-        assert [p.generation for p in sender._queue] == [2, 3, 4]
+        # two redundant by construction.  The queue holds pre-encoded
+        # length-prefixed frames; decode them to inspect.
+        queued = [_decode_queued(frame) for frame in sender._queue]
+        assert [p.generation for p in queued] == [2, 3, 4]
 
     def test_enqueue_after_close_is_refused(self):
         async def scenario():
@@ -393,3 +403,77 @@ class TestPacketSenderEdges:
         assert idle_frames == 3
         assert stats.keepalives == 3
         assert stats.sent == 1
+
+
+class _CoalescingWriter(_CollectingWriter):
+    """A collecting writer that also supports ``writelines``."""
+
+    def __init__(self):
+        super().__init__()
+        self.batches = []
+
+    def writelines(self, frames):
+        frames = list(frames)
+        self.batches.append([bytes(f) for f in frames])
+        self.chunks.extend(bytes(f) for f in frames)
+
+
+class TestSenderCoalescing:
+    """SenderStats accounting and the one-writelines-per-wakeup flush."""
+
+    @staticmethod
+    def _pump(writer, n):
+        async def scenario():
+            sender = PacketSender(writer, column=0, sender_id=1, limit=2 * n)
+            frames = [
+                encode_data_frame(_packet(generation=i)) for i in range(n)
+            ]
+            for frame in frames:
+                sender.enqueue_frame(frame)
+            task = asyncio.ensure_future(sender.run())
+            await asyncio.sleep(0)  # one wakeup: the whole queue drains
+            sender.close()
+            await task
+            return sender.stats, frames
+
+        return asyncio.run(scenario())
+
+    def test_queue_drains_in_one_writelines_flush(self):
+        writer = _CoalescingWriter()
+        stats, frames = self._pump(writer, 5)
+        assert writer.batches == [frames]  # a single writelines call
+        assert stats.flushes == 1
+        assert stats.sent == 5
+        assert stats.bytes_sent == sum(len(f) for f in frames)
+
+    def test_writer_without_writelines_falls_back_per_frame(self):
+        """The chaos harness's virtual writer has no writelines; the
+        pump must emit identical bytes via write(), same accounting."""
+        writer = _CollectingWriter()
+        stats, frames = self._pump(writer, 5)
+        assert writer.chunks == frames
+        assert stats.flushes == 1
+        assert stats.sent == 5
+        assert stats.bytes_sent == sum(len(f) for f in frames)
+
+    def test_coalesce_opt_out_restores_per_frame_writes(self):
+        async def scenario():
+            writer = _CoalescingWriter()
+            sender = PacketSender(
+                writer, column=0, sender_id=1, limit=8, coalesce=False
+            )
+            frames = [
+                encode_data_frame(_packet(generation=i)) for i in range(3)
+            ]
+            for frame in frames:
+                sender.enqueue_frame(frame)
+            task = asyncio.ensure_future(sender.run())
+            await asyncio.sleep(0)
+            sender.close()
+            await task
+            return writer, sender.stats, frames
+
+        writer, stats, frames = asyncio.run(scenario())
+        assert writer.batches == []  # writelines never used
+        assert writer.chunks == frames
+        assert stats.bytes_sent == sum(len(f) for f in frames)
