@@ -1,8 +1,9 @@
 """Binary serialisation for the control plane.
 
 The live transport reuses the §3 protocol datagrams defined in
-:mod:`repro.protocol_sim.messages` — the same dataclasses the
-discrete-event simulation exchanges in memory — and gives each a
+:mod:`repro.protocol.messages` — the same dataclasses the sans-IO
+engines consume and the discrete-event simulation exchanges in
+memory — and gives each a
 compact big-endian wire form: one type byte followed by struct-packed
 fields.  The nominal ``size`` attributes on the dataclasses are
 simulation bookkeeping and are not serialised; decoding restores the
@@ -27,7 +28,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from ..protocol_sim.messages import (
+from ..protocol.messages import (
     AttachChild,
     ComplaintMsg,
     CongestionDrop,

@@ -1,22 +1,26 @@
 """A live peer: clip, recode, forward — over real sockets.
 
-:class:`PeerNode` is the deployable counterpart of the simulators' node
-behaviours.  It joins through the server's hello protocol, dials one
-upstream *data* connection per assigned thread, feeds everything it
-receives into the shared :class:`~repro.coding.recoder.Recoder`, and
-fans fresh random mixtures out to the children that dial it — each
-child behind a bounded drop-oldest queue (see
-:mod:`repro.net.streams`).
+:class:`PeerNode` is the live-transport driver of the sans-IO
+:class:`~repro.protocol.peer_engine.PeerEngine`.  The engine owns every
+peer-side protocol decision — which parent feeds which column, when to
+complain, how long to back off — and this module owns the I/O around
+it: it joins through the server's hello protocol, dials one upstream
+*data* connection per assigned thread, feeds everything it receives
+into the shared :class:`~repro.coding.recoder.Recoder`, and fans fresh
+random mixtures out to the children that dial it — each child behind a
+bounded drop-oldest queue (see :mod:`repro.net.streams`).
 
 Robustness model, mirroring §3/§5 on a real event loop:
 
 * an upstream connection that drops or falls silent for
-  ``silence_timeout`` triggers a ``ComplaintMsg`` to the server and a
-  reconnect loop with exponential backoff;
+  ``silence_timeout`` raises an
+  :class:`~repro.protocol.events.UpstreamDown` event; the engine
+  decides whether that deserves a ``ComplaintMsg`` (once per silence
+  episode) and how long the redial should back off;
 * a ``SetParent`` push from the server (repair, uniform-insert splice,
-  or graceful leave upstream) re-clips the thread: the old upstream
-  task is cancelled and a new one dials the new parent — the live
-  Lemma 1 repair;
+  or graceful leave upstream) re-clips the thread through the engine's
+  ``Clip`` effect: the old upstream task is cancelled and a new one
+  dials the new parent — the live Lemma 1 repair;
 * losing the *server* stops membership repair but not the data plane:
   established peer connections keep streaming (the §6 observation that
   swarms outlive the server).
@@ -34,18 +38,22 @@ from ..coding.generation import GenerationParams
 from ..coding.packet import CodedPacket
 from ..coding.recoder import Recoder
 from ..core.matrix import SERVER
-from ..protocol_sim.messages import (
-    AttachChild,
+from ..protocol import (
+    Backoff,
+    Clip,
+    CloseChildren,
     ComplaintMsg,
-    DetachChild,
     JoinGrant,
     JoinRequest,
     KeepAlive,
     LeaveRequest,
-    Probe,
-    ProbeAck,
-    SetParent,
-    ThreadRemoved,
+    MessageReceived,
+    PeerEngine,
+    ReconnectBackoff,
+    Send,
+    ServerLost,
+    StopThread,
+    UpstreamDown,
 )
 from .control import DataHello, PeerLocator, SessionInfo
 from .framing import (
@@ -59,49 +67,6 @@ from .streams import PacketSender, SenderStats
 from .transport import AsyncioTransport, ByteStreamWriter, Listener, Transport
 
 __all__ = ["PeerNode", "PeerStats", "ReconnectBackoff"]
-
-
-class ReconnectBackoff:
-    """The peer's redial schedule: ``base, 2*base, 4*base, ...`` capped
-    at ``maximum``; any healthy session resets it to ``base``.
-
-    Kept as a standalone object so the schedule is unit-testable and so
-    chaos scenarios can assert the exact sleep sequence a peer followed
-    under a virtual clock.
-    """
-
-    def __init__(self, base: float, maximum: float) -> None:
-        if base <= 0:
-            raise ValueError(f"backoff base must be positive, got {base}")
-        if maximum < base:
-            raise ValueError(
-                f"backoff maximum {maximum} must be >= base {base}"
-            )
-        self.base = base
-        self.maximum = maximum
-        self._delay = base
-
-    @property
-    def current(self) -> float:
-        """The delay the next failure will sleep for."""
-        return self._delay
-
-    def next(self) -> float:
-        """Consume one step of the schedule, doubling toward the cap."""
-        delay = self._delay
-        self._delay = min(self._delay * 2, self.maximum)
-        return delay
-
-    def reset(self) -> None:
-        self._delay = self.base
-
-    def schedule(self, steps: int) -> list[float]:
-        """The first ``steps`` delays a fresh schedule would produce."""
-        delays, delay = [], self.base
-        for _ in range(steps):
-            delays.append(delay)
-            delay = min(delay * 2, self.maximum)
-        return delays
 
 
 @dataclass
@@ -162,7 +127,12 @@ class PeerNode:
         self.server_port = server_port
         self.host = host
         self.port = 0
-        self.node_id: Optional[int] = None
+        self.engine = PeerEngine(
+            None,
+            silence_timeout=silence_timeout,
+            reconnect_base=reconnect_base,
+            reconnect_max=reconnect_max,
+        )
         self.queue_limit = queue_limit
         self.keepalive_interval = keepalive_interval
         self.silence_timeout = silence_timeout
@@ -172,12 +142,9 @@ class PeerNode:
         self.batched = batched
         self.stats = PeerStats()
         self.completed = False
-        self.server_lost = False
         self.recoder: Optional[Recoder] = None
         self.session: Optional[SessionInfo] = None
         self._rng = np.random.default_rng(seed)
-        #: column -> upstream node id (SERVER for the chain top)
-        self.parents: dict[int, int] = {}
         #: node id -> (host, port), learned from PeerLocator pushes
         self._addresses: dict[int, tuple[str, int]] = {}
         #: (child id, column) -> outbound pump
@@ -188,8 +155,22 @@ class PeerNode:
         self._listener: Optional[Listener] = None
         self._control_writer: Optional[ByteStreamWriter] = None
         self._control_task: Optional[asyncio.Task] = None
-        self._complained: set[int] = set()
         self._running = False
+
+    @property
+    def node_id(self) -> Optional[int]:
+        """Server-assigned id (known once the grant arrives)."""
+        return self.engine.node_id
+
+    @property
+    def parents(self) -> dict[int, int]:
+        """column -> upstream node id (SERVER for the chain top)."""
+        return self.engine.parents
+
+    @property
+    def server_lost(self) -> bool:
+        """The control connection died: no more membership repair."""
+        return self.engine.server_lost
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -207,7 +188,7 @@ class PeerNode:
         self._control_writer = writer
         await send_control(writer, JoinRequest(reply_to=self.port))
         grant = await self._await_grant(reader)
-        self.node_id = grant.node_id
+        self.engine.node_id = grant.node_id
         self.recoder = Recoder(
             GenerationParams(self.session.generation_size,
                              self.session.payload_size),
@@ -215,11 +196,8 @@ class PeerNode:
             self._rng,
             node_id=grant.node_id,
         )
-        for column, parent in grant.assignments:
-            self.parents[column] = parent
         self._control_task = asyncio.ensure_future(self._control_loop(reader))
-        for column in self.parents:
-            self._restart_thread(column)
+        self._dispatch_control(grant)
 
     async def _await_grant(self, reader) -> JoinGrant:
         """Consume the admission sequence: SessionInfo, locators, grant."""
@@ -305,7 +283,7 @@ class PeerNode:
         return self.recoder.decoder.recover(self.session.content_length)
 
     # ------------------------------------------------------------------
-    # Control plane
+    # Control plane: pump the engine
 
     async def _control_loop(self, reader) -> None:
         try:
@@ -321,44 +299,38 @@ class PeerNode:
         # The server is gone.  Keep the data plane alive (§6): existing
         # upstream connections and children continue, but there is no
         # more membership repair.
-        self.server_lost = True
+        self.engine.handle(ServerLost())
 
     def _dispatch_control(self, message: object) -> None:
         if isinstance(message, PeerLocator):
             self._addresses[message.node_id] = (message.host, message.port)
-        elif isinstance(message, SetParent):
-            self.parents[message.column] = message.parent
-            self._complained.discard(message.column)
-            self._restart_thread(message.column)
-        elif isinstance(message, ThreadRemoved):
-            self.parents.pop(message.column, None)
-            task = self._thread_tasks.pop(message.column, None)
-            if task is not None:
-                task.cancel()
-        elif isinstance(message, AttachChild):
-            pass  # informational: the child will dial us
-        elif isinstance(message, DetachChild):
-            for (child, column), sender in list(self._children.items()):
-                if column == message.column:
-                    sender.close()
-        elif isinstance(message, Probe):
-            if self._control_writer is not None:
-                write_control_nowait(
-                    self._control_writer,
-                    ProbeAck(node_id=self.node_id, nonce=message.nonce),
-                )
-
-    def _complain(self, column: int, suspect: int) -> None:
-        """Tell the server an upstream thread went silent (once per
-        silence; re-armed by SetParent)."""
-        if (self.server_lost or column in self._complained
-                or self._control_writer is None or suspect == SERVER):
             return
-        self._complained.add(column)
-        self.stats.complaints += 1
+        self._perform_all(self.engine.handle(MessageReceived(message)))
+
+    def _perform_all(self, effects) -> None:
+        """Carry out the engine's control effects (everything except
+        ``Backoff``, which only the thread loops await)."""
+        for effect in effects:
+            if isinstance(effect, Send):
+                self._write_control(effect.message)
+            elif isinstance(effect, Clip):
+                self._restart_thread(effect.column)
+            elif isinstance(effect, StopThread):
+                task = self._thread_tasks.pop(effect.column, None)
+                if task is not None:
+                    task.cancel()
+            elif isinstance(effect, CloseChildren):
+                for (child, column), sender in list(self._children.items()):
+                    if column == effect.column:
+                        sender.close()
+
+    def _write_control(self, message: object) -> None:
+        if self._control_writer is None:
+            return
+        if isinstance(message, ComplaintMsg):
+            self.stats.complaints += 1
         try:
-            write_control_nowait(self._control_writer, ComplaintMsg(
-                reporter=self.node_id, column=column, suspect=suspect))
+            write_control_nowait(self._control_writer, message)
         except (ConnectionError, OSError):
             pass
 
@@ -379,24 +351,31 @@ class PeerNode:
     async def _thread_loop(self, column: int) -> None:
         """Dial the current parent of ``column`` and consume its stream,
         reconnecting with exponential backoff for as long as we hold the
-        thread."""
-        backoff = ReconnectBackoff(self.reconnect_base, self.reconnect_max)
+        thread.  The engine judges every session end: a healthy one
+        redials immediately, a silent one complains (at most once per
+        episode) and backs off."""
         while self._running and column in self.parents:
             parent = self.parents[column]
             address = (
                 (self.server_host, self.server_port) if parent == SERVER
                 else self._addresses.get(parent)
             )
-            clean = False
+            saw_traffic = False
             if address is not None:
-                clean = await self._consume_upstream(column, parent, address)
-            if clean:
-                backoff.reset()
-                continue
-            if self.parents.get(column) == parent:
-                self._complain(column, parent)
+                saw_traffic = await self._consume_upstream(
+                    column, parent, address)
+            delay: Optional[float] = None
+            for effect in self.engine.handle(UpstreamDown(
+                column=column, parent=parent, saw_traffic=saw_traffic,
+            )):
+                if isinstance(effect, Send):
+                    self._write_control(effect.message)
+                elif isinstance(effect, Backoff):
+                    delay = effect.delay
+            if delay is None:
+                continue  # healthy session: redial immediately
             try:
-                await self.clock.sleep(backoff.next())
+                await self.clock.sleep(delay)
             except asyncio.CancelledError:
                 return
             self.stats.reconnects += 1

@@ -1,25 +1,28 @@
 """The coordination + source server over real sockets.
 
-:class:`ServerNode` is the live-transport counterpart of
-:class:`~repro.protocol_sim.actors.ServerActor`: it owns the same
-:class:`~repro.core.server.CoordinationServer` (and therefore the thread
-matrix ``M``), serves the hello/good-bye protocols — including the §5
-random-row-insertion variant via ``insert_mode="uniform"`` — and
-additionally runs the data plane's root: a
-:class:`~repro.coding.encoder.SourceEncoder` that pumps coded packets
-down each column's chain.
+:class:`ServerNode` is the live-transport driver of the sans-IO
+:class:`~repro.protocol.server_engine.ServerEngine`: every protocol
+decision — hello grants, Lemma 1 splices, the complaint→probe→repair
+slow path — happens inside the engine, and this module only owns what
+a real deployment adds around it:
 
-Connections are dialed by the downstream side.  A peer keeps one
-*control* connection open (first frame: ``JoinRequest``); the top node
-of each column dials a *data* connection (first frame: ``DataHello``)
-and receives that column's stream.  Failure handling is two-layered:
+* the listen socket and one control connection per admitted peer
+  (first frame: ``JoinRequest``), each pumping received frames into the
+  engine and performing the effects it returns;
+* address book upkeep — a ``PeerLocator`` precedes every ``SetParent``
+  so the child can dial its new parent;
+* probe deadlines as asyncio sleeps feeding
+  :class:`~repro.protocol.events.TimerFired` back into the engine;
+* the data plane's root: a
+  :class:`~repro.coding.encoder.SourceEncoder` pumping coded packets
+  down each column's chain (top nodes dial a *data* connection, first
+  frame ``DataHello``).
 
-* **fast path** — a peer's control connection dropping without a
-  ``LeaveRequest`` is treated as a crash: the server splices the row out
-  (Lemma 1 repair) and pushes ``SetParent``/``AttachChild`` redirects;
-* **slow path** — children whose threads go silent complain; the server
-  probes the suspect over its control connection and repairs on probe
-  timeout, exactly as in §3.
+Failure handling is two-layered, both decided by the engine: the
+**fast path** treats a control connection dropping without a
+``LeaveRequest`` as a crash (:class:`~repro.protocol.events.ConnectionLost`),
+the **slow path** probes complained-about suspects and splices them on
+probe timeout, exactly as in §3.
 """
 
 from __future__ import annotations
@@ -34,16 +37,19 @@ from ..coding.encoder import SourceEncoder
 from ..coding.generation import GenerationParams
 from ..core.matrix import SERVER
 from ..core.server import CoordinationServer
-from ..protocol_sim.messages import (
-    AttachChild,
-    ComplaintMsg,
-    DetachChild,
-    JoinGrant,
+from ..protocol import (
+    Admitted,
+    CloseConnection,
+    ConnectionLost,
     JoinRequest,
-    LeaveRequest,
+    MessageReceived,
+    PeerDeparted,
     Probe,
-    ProbeAck,
+    Send,
+    ServerEngine,
     SetParent,
+    StartTimer,
+    TimerFired,
 )
 from .control import DataHello, PeerLocator, SessionInfo
 from .framing import (
@@ -73,14 +79,12 @@ class ServerStats:
 
 @dataclass
 class _PeerHandle:
-    """Server-side state for one admitted peer."""
+    """Server-side connection state for one admitted peer."""
 
     node_id: int
     host: str
     port: int
     writer: ByteStreamWriter
-    probe_nonce: Optional[int] = None
-    left: bool = False
     tasks: list = field(default_factory=list)
 
 
@@ -131,7 +135,10 @@ class ServerNode:
         )
         self.clock = self.transport.clock
         rng = np.random.default_rng(seed)
-        self.core = CoordinationServer(k, d, rng, insert_mode)
+        self.engine = ServerEngine(
+            CoordinationServer(k, d, rng, insert_mode),
+            probe_timeout=probe_timeout,
+        )
         self.encoder = SourceEncoder(content, params, rng)
         self.params = params
         self.content_length = len(content)
@@ -149,9 +156,13 @@ class ServerNode:
         self.sender_stats: list[SenderStats] = []
         self._server: Optional[Listener] = None
         self._stream_task: Optional[asyncio.Task] = None
-        self._probe_tasks: set[asyncio.Task] = set()
-        self._nonce = 0
+        self._timer_tasks: set[asyncio.Task] = set()
         self._running = False
+
+    @property
+    def core(self) -> CoordinationServer:
+        """The matrix authority (owned by the engine)."""
+        return self.engine.core
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -168,7 +179,7 @@ class ServerNode:
     async def stop(self) -> None:
         """Close every connection and stop serving."""
         self._running = False
-        pending = [t for t in [self._stream_task, *self._probe_tasks]
+        pending = [t for t in [self._stream_task, *self._timer_tasks]
                    if t is not None]
         for task in pending:
             task.cancel()
@@ -268,7 +279,7 @@ class ServerNode:
                 del self._column_senders[column]
 
     # ------------------------------------------------------------------
-    # Control plane
+    # Control plane: pump the engine
 
     async def _serve_control(
         self, request: JoinRequest, reader,
@@ -280,137 +291,86 @@ class ServerNode:
                 message = await read_message(reader)
                 if message is None:
                     break
-                self._dispatch_control(handle, message)
-                if handle.left:
+                self._pump(self.engine.handle(
+                    MessageReceived(message, sender=handle.node_id)
+                ))
+                if handle.node_id in self.engine.departed:
                     break
         except (FramingError, ConnectionError, OSError):
             pass
         finally:
             self._disconnect(handle)
 
-    def _admit(self, request: JoinRequest, writer: ByteStreamWriter) -> _PeerHandle:
+    def _admit(
+        self, request: JoinRequest, writer: ByteStreamWriter
+    ) -> _PeerHandle:
         """Run the hello protocol for a fresh control connection."""
         peername = writer.get_extra_info("peername")
         host = peername[0] if peername else "127.0.0.1"
-        grant = self.core.hello()
-        handle = _PeerHandle(
-            node_id=grant.node_id, host=host, port=request.reply_to, writer=writer
-        )
-        self._peers[grant.node_id] = handle
-        self.stats.joins += 1
-        # Geometry first, then parent locators, then the grant itself: by
-        # the time the joiner sees its assignments it can dial them all.
-        write_control_nowait(writer, SessionInfo(
-            generation_size=self.params.generation_size,
-            payload_size=self.params.payload_size,
-            generation_count=self.encoder.generation_count,
-            content_length=self.content_length,
-            k=self.core.k,
-            d=self.core.d,
-        ))
-        for assignment in grant.assignments:
-            self._send_locator(handle, assignment.parent)
-        write_control_nowait(writer, JoinGrant(
-            node_id=grant.node_id,
-            assignments=tuple((a.column, a.parent) for a in grant.assignments),
-        ))
-        for assignment in grant.assignments:
-            self._notify(assignment.parent,
-                         AttachChild(column=assignment.column, child=grant.node_id))
-        # Uniform insertion may splice the newcomer mid-column: displaced
-        # children re-dial the newcomer, which starts serving them.
-        for redirect in grant.redirects:
-            if redirect.child is None:
-                continue
-            child = self._peers.get(redirect.child)
-            if child is not None:
-                self._send_locator(child, grant.node_id)
-                self._notify(redirect.child,
-                             SetParent(column=redirect.column, parent=grant.node_id))
-            self._notify(grant.node_id,
-                         AttachChild(column=redirect.column, child=redirect.child))
+        handle: Optional[_PeerHandle] = None
+        for effect in self.engine.handle(MessageReceived(request)):
+            if isinstance(effect, Admitted):
+                handle = _PeerHandle(
+                    node_id=effect.node_id, host=host,
+                    port=request.reply_to, writer=writer,
+                )
+                self._peers[effect.node_id] = handle
+                self.stats.joins += 1
+                # Geometry first, then parent locators, then the grant
+                # (delivered by the Send effect that follows): by the
+                # time the joiner sees its assignments it can dial them.
+                write_control_nowait(writer, SessionInfo(
+                    generation_size=self.params.generation_size,
+                    payload_size=self.params.payload_size,
+                    generation_count=self.encoder.generation_count,
+                    content_length=self.content_length,
+                    k=self.core.k,
+                    d=self.core.d,
+                ))
+                for _column, parent in effect.assignments:
+                    self._send_locator(handle, parent)
+            else:
+                self._perform(effect)
         return handle
 
-    def _dispatch_control(self, handle: _PeerHandle, message: object) -> None:
-        if isinstance(message, LeaveRequest):
-            self._handle_leave(handle)
-        elif isinstance(message, ComplaintMsg):
-            self._handle_complaint(message)
-        elif isinstance(message, ProbeAck):
-            peer = self._peers.get(message.node_id)
-            if peer is not None and peer.probe_nonce == message.nonce:
-                peer.probe_nonce = None
-        # Unknown or data-plane messages on the control channel: ignore.
+    def _pump(self, effects) -> None:
+        for effect in effects:
+            self._perform(effect)
 
-    def _handle_leave(self, handle: _PeerHandle) -> None:
-        if handle.node_id not in self.core.registry:
-            return
-        handle.left = True
-        self.stats.leaves += 1
-        redirects = self.core.goodbye(handle.node_id)
-        self._broadcast_redirects(redirects)
+    def _perform(self, effect) -> None:
+        """Carry out one engine effect on the live transport."""
+        if isinstance(effect, Send):
+            if isinstance(effect.message, Probe):
+                self.stats.probes += 1
+            self._notify(effect.to, effect.message)
+        elif isinstance(effect, StartTimer):
+            task = asyncio.ensure_future(self._timer(effect.key, effect.delay))
+            self._timer_tasks.add(task)
+            task.add_done_callback(self._timer_tasks.discard)
+        elif isinstance(effect, CloseConnection):
+            handle = self._peers.get(effect.node_id)
+            if handle is not None:
+                handle.writer.close()
+        elif isinstance(effect, PeerDeparted):
+            if effect.reason == "leave":
+                self.stats.leaves += 1
+            else:
+                self.stats.repairs += 1
+                self._peers.pop(effect.node_id, None)
+        # Admitted is handled by _admit; ComplaintNoted is bookkeeping
+        # for drivers that track repair latency.
 
-    def _handle_complaint(self, message: ComplaintMsg) -> None:
-        suspect = self._peers.get(message.suspect)
-        if (suspect is None or suspect.left
-                or message.suspect not in self.core.registry
-                or message.suspect in self.core.failed):
-            return
-        if suspect.probe_nonce is not None:
-            return  # probe already in flight
-        self._nonce += 1
-        suspect.probe_nonce = self._nonce
-        self.stats.probes += 1
-        self._notify(message.suspect, Probe(nonce=self._nonce))
-        task = asyncio.ensure_future(
-            self._probe_deadline(message.suspect, self._nonce)
-        )
-        self._probe_tasks.add(task)
-        task.add_done_callback(self._probe_tasks.discard)
-
-    async def _probe_deadline(self, suspect_id: int, nonce: int) -> None:
-        await self.clock.sleep(self.probe_timeout)
-        suspect = self._peers.get(suspect_id)
-        if suspect is None or suspect.probe_nonce != nonce:
-            return  # answered, left, or already repaired
-        suspect.writer.close()
-        self._repair(suspect)
+    async def _timer(self, key: tuple, delay: float) -> None:
+        await self.clock.sleep(delay)
+        self._pump(self.engine.handle(TimerFired(key)))
 
     def _disconnect(self, handle: _PeerHandle) -> None:
-        """Control connection gone: graceful if it said good-bye."""
-        if not handle.left and self._running:
+        """Control connection gone: a crash unless it said good-bye."""
+        if self._running and handle.node_id not in self.engine.departed:
             self.stats.crashes += 1
-            self._repair(handle)
+            self._pump(self.engine.handle(ConnectionLost(handle.node_id)))
         self._peers.pop(handle.node_id, None)
         handle.writer.close()
-
-    def _repair(self, handle: _PeerHandle) -> None:
-        """Splice a crashed peer out of every column (Lemma 1)."""
-        if handle.left or handle.node_id not in self.core.registry:
-            return
-        handle.left = True
-        self.stats.repairs += 1
-        self.core.fail(handle.node_id)
-        redirects = self.core.repair(handle.node_id)
-        self._peers.pop(handle.node_id, None)
-        self._broadcast_redirects(redirects)
-
-    def _broadcast_redirects(self, redirects) -> None:
-        """Push the post-splice topology to every affected, live peer."""
-        for redirect in redirects:
-            if redirect.child is not None:
-                child = self._peers.get(redirect.child)
-                if child is not None:
-                    self._send_locator(child, redirect.parent)
-                    self._notify(redirect.child, SetParent(
-                        column=redirect.column, parent=redirect.parent))
-            if redirect.parent != SERVER:
-                if redirect.child is not None:
-                    self._notify(redirect.parent, AttachChild(
-                        column=redirect.column, child=redirect.child))
-                else:
-                    self._notify(redirect.parent,
-                                 DetachChild(column=redirect.column))
 
     # ------------------------------------------------------------------
     # Helpers
@@ -425,13 +385,17 @@ class ServerNode:
                 node_id=node_id, host=peer.host, port=peer.port))
 
     def _notify(self, node_id: int, message: object) -> None:
-        """Fire-and-forget a control message to a connected peer."""
+        """Fire-and-forget a control message to a connected peer.  A
+        ``SetParent`` is preceded by the new parent's locator so the
+        child can dial it."""
         if node_id == SERVER:
             return
         handle = self._peers.get(node_id)
         if handle is None:
             return
         try:
+            if isinstance(message, SetParent):
+                self._send_locator(handle, message.parent)
             write_control_nowait(handle.writer, message)
         except (ConnectionError, OSError):
             pass

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Deque, Optional
 
 from ..coding.packet import CodedPacket
-from ..protocol_sim.messages import KeepAlive
+from ..protocol.messages import KeepAlive
 from .control import encode_control
 from .framing import KIND_CONTROL, encode_data_frame, encode_frame
 from .transport import AsyncioClock, ByteStreamWriter, Clock

@@ -32,7 +32,8 @@ import numpy as np
 
 from ...coding.generation import GenerationParams
 from ...core.matrix import SERVER
-from ..peer import PeerNode, ReconnectBackoff
+from ...protocol import ReconnectBackoff
+from ..peer import PeerNode
 from ..server import ServerNode
 from ..transport import AsyncioTransport, Clock, Transport
 from .virtualnet import VirtualNetwork
@@ -366,15 +367,20 @@ class ChaosHarness:
             self.violations.append(message)
 
     def check_invariants(self) -> None:
-        """The §3-§6 protocol invariants every scenario must end on."""
-        core = self.server.core
+        """The §3-§6 protocol invariants every scenario must end on.
+
+        Read straight off the engines: the server engine's core is the
+        matrix authority and each peer engine's thread map is the
+        ground truth its driver clips from.
+        """
+        core = self.server.engine.core
         for index, peer in self.alive():
             if peer.node_id is None or not core.is_working(peer.node_id):
                 continue
             expected = core.matrix.parents_of(peer.node_id)
             self.expect(
-                dict(peer.parents) == dict(expected),
-                f"peer{index} thread map {dict(peer.parents)} "
+                dict(peer.engine.parents) == dict(expected),
+                f"peer{index} thread map {dict(peer.engine.parents)} "
                 f"!= matrix row {dict(expected)}",
             )
         for index in self.killed:
@@ -383,11 +389,19 @@ class ChaosHarness:
                 node_id is None or not core.is_working(node_id),
                 f"killed peer{index} (node {node_id}) still working",
             )
+            self.expect(
+                node_id is None or node_id in self.server.engine.departed,
+                f"killed peer{index} (node {node_id}) not marked departed",
+            )
         for index in self.left:
             node_id = self.peers[index].node_id
             self.expect(
                 node_id not in core.registry,
                 f"left peer{index} (node {node_id}) still registered",
+            )
+            self.expect(
+                node_id is None or node_id in self.server.engine.departed,
+                f"left peer{index} (node {node_id}) not marked departed",
             )
         for index, peer in self.alive():
             self.expect(peer.completed, f"peer{index} never finished decoding")

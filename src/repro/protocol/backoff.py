@@ -1,0 +1,55 @@
+"""The reconnect backoff schedule — pure policy, no clock.
+
+Lives in the protocol core because the schedule *is* protocol: chaos
+scenarios assert that a cut-off child's redial attempts follow it
+exactly, and every driver (live sockets, virtual network) must produce
+the same sequence.  The object only computes delays; sleeping them is
+the driver's job.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReconnectBackoff"]
+
+
+class ReconnectBackoff:
+    """The peer's redial schedule: ``base, 2*base, 4*base, ...`` capped
+    at ``maximum``; any healthy session resets it to ``base``.
+
+    Kept as a standalone object so the schedule is unit-testable and so
+    chaos scenarios can assert the exact sleep sequence a peer followed
+    under a virtual clock.
+    """
+
+    def __init__(self, base: float, maximum: float) -> None:
+        if base <= 0:
+            raise ValueError(f"backoff base must be positive, got {base}")
+        if maximum < base:
+            raise ValueError(
+                f"backoff maximum {maximum} must be >= base {base}"
+            )
+        self.base = base
+        self.maximum = maximum
+        self._delay = base
+
+    @property
+    def current(self) -> float:
+        """The delay the next failure will sleep for."""
+        return self._delay
+
+    def next(self) -> float:
+        """Consume one step of the schedule, doubling toward the cap."""
+        delay = self._delay
+        self._delay = min(self._delay * 2, self.maximum)
+        return delay
+
+    def reset(self) -> None:
+        self._delay = self.base
+
+    def schedule(self, steps: int) -> list[float]:
+        """The first ``steps`` delays a fresh schedule would produce."""
+        delays, delay = [], self.base
+        for _ in range(steps):
+            delays.append(delay)
+            delay = min(delay * 2, self.maximum)
+        return delays

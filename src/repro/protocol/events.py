@@ -1,0 +1,96 @@
+"""Events: everything the outside world can tell a protocol engine.
+
+An event is a plain frozen dataclass; the engines never look at a
+socket, a clock, or an event loop — whatever happened out there is
+narrated to them through one of these.  Drivers construct events from
+their transport of choice (delivered datagrams, stream EOFs, fired
+timers, read timeouts) and feed them to ``engine.handle``.
+
+Timestamps: engines are clockless.  Events that feed time-based logic
+(keep-alive bookkeeping, silence scans) carry an explicit ``now`` so a
+discrete-event simulator, a virtual clock, and the wall clock all look
+the same from inside the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "ConnectionLost",
+    "Event",
+    "KeepAliveTick",
+    "MessageReceived",
+    "ServerLost",
+    "SilenceCheck",
+    "TimerFired",
+    "UpstreamDown",
+]
+
+
+@dataclass(frozen=True)
+class MessageReceived:
+    """A control message arrived.
+
+    ``sender`` is the authenticated transport identity when the driver
+    has one (the node id owning the control connection); ``None`` when
+    the message speaks for itself (e.g. a fresh ``JoinRequest``).
+    """
+
+    message: object
+    sender: Optional[object] = None
+    now: float = 0.0
+
+
+@dataclass(frozen=True)
+class ConnectionLost:
+    """A peer's control connection died without a good-bye (EOF-crash
+    fast path — only transports with connections emit this)."""
+
+    node_id: int
+
+
+@dataclass(frozen=True)
+class TimerFired:
+    """A timer the engine previously requested (``StartTimer``) fired.
+    The ``key`` round-trips verbatim; stale keys are ignored."""
+
+    key: tuple
+
+
+@dataclass(frozen=True)
+class KeepAliveTick:
+    """Peer driver cadence: time to emit per-thread keep-alives."""
+
+    now: float = 0.0
+
+
+@dataclass(frozen=True)
+class SilenceCheck:
+    """Peer driver cadence: scan incoming threads for silence
+    (timestamp-based detection, used by datagram drivers)."""
+
+    now: float = 0.0
+
+
+@dataclass(frozen=True)
+class UpstreamDown:
+    """A peer's upstream connection on ``column`` ended (stream-based
+    detection, used by connection drivers).  ``saw_traffic`` is True if
+    any packet or keep-alive arrived during the session — a healthy
+    session resets the reconnect backoff."""
+
+    column: int
+    parent: int
+    saw_traffic: bool
+
+
+@dataclass(frozen=True)
+class ServerLost:
+    """The peer's control connection to the server is gone: no more
+    membership repair, but the data plane keeps flowing (§6)."""
+
+
+#: Anything ``handle`` accepts.
+Event = object

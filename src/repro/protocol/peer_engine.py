@@ -1,0 +1,214 @@
+"""The peer side of the §3 protocol as a sans-IO engine.
+
+:class:`PeerEngine` holds a peer's view of its threads — which parent
+feeds each column, which child it feeds — and implements every
+peer-side protocol decision exactly once:
+
+* **clip / re-clip** — a grant or ``SetParent`` push retargets a
+  thread's upstream pump (the live Lemma 1 repair on the child side);
+* **silence detection** — two detector front-ends feed one complaint
+  rule: timestamp scans (:class:`~repro.protocol.events.SilenceCheck`,
+  for datagram drivers whose keep-alives carry the liveness signal) and
+  stream endings (:class:`~repro.protocol.events.UpstreamDown`, for
+  connection drivers whose read timeouts do);
+* **complaint emission** — at most one complaint per column per
+  silence episode, re-armed by ``SetParent``, suppressed after the
+  server itself is lost (§6) and never against the server;
+* **reconnect backoff** — a per-column
+  :class:`~repro.protocol.backoff.ReconnectBackoff` schedule, stepped
+  on every failed session and reset by a healthy one or a re-clip.
+
+Drivers: :class:`repro.protocol_sim.actors.PeerActor` (datagrams on
+the discrete-event engine) and :class:`repro.net.peer.PeerNode` (real
+or virtual asyncio streams).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.matrix import SERVER
+from .backoff import ReconnectBackoff
+from .effects import (
+    Backoff,
+    Clip,
+    CloseChildren,
+    Effect,
+    Send,
+    StopThread,
+)
+from .events import (
+    Event,
+    KeepAliveTick,
+    MessageReceived,
+    ServerLost,
+    SilenceCheck,
+    UpstreamDown,
+)
+from .messages import (
+    AttachChild,
+    ComplaintMsg,
+    DetachChild,
+    JoinGrant,
+    KeepAlive,
+    Probe,
+    ProbeAck,
+    SetParent,
+    ThreadRemoved,
+)
+from .trace import EngineLog
+
+__all__ = ["PeerEngine"]
+
+
+class PeerEngine:
+    """Pure event-in/effect-out peer state machine.
+
+    Args:
+        node_id: Server-assigned id (assignable after construction for
+            drivers that learn it from the grant).
+        silence_timeout: Silence on an incoming thread before the
+            timestamp-based detector complains.
+        reconnect_base, reconnect_max: Bounds of the per-column
+            exponential redial schedule.
+    """
+
+    def __init__(
+        self,
+        node_id: Optional[int] = None,
+        *,
+        silence_timeout: float = 1.0,
+        reconnect_base: float = 0.05,
+        reconnect_max: float = 2.0,
+    ) -> None:
+        self.node_id = node_id
+        self.silence_timeout = silence_timeout
+        self.reconnect_base = reconnect_base
+        self.reconnect_max = reconnect_max
+        self.server_lost = False
+        #: column -> parent we currently receive from
+        self.parents: dict[int, int] = {}
+        #: column -> child we currently forward to
+        self.children: dict[int, int] = {}
+        #: columns already complained about this silence episode
+        self.complained: set[int] = set()
+        self._last_heard: dict[int, float] = {}
+        self._attached_at: dict[int, float] = {}
+        self._backoffs: dict[int, ReconnectBackoff] = {}
+        #: optional event/effect recorder (conformance and replay tests)
+        self.log: Optional[EngineLog] = None
+
+    # ------------------------------------------------------------------
+
+    def handle(self, event: Event) -> list[Effect]:
+        """Advance the state machine by one event."""
+        effects = self._dispatch(event)
+        if self.log is not None:
+            self.log.record(event, effects)
+        return effects
+
+    def _dispatch(self, event: Event) -> list[Effect]:
+        if isinstance(event, MessageReceived):
+            return self._on_message(event.message, event.now)
+        if isinstance(event, KeepAliveTick):
+            return [
+                Send(child, KeepAlive(column=column, sender=self.node_id))
+                for column, child in self.children.items()
+            ]
+        if isinstance(event, SilenceCheck):
+            return self._on_silence_check(event.now)
+        if isinstance(event, UpstreamDown):
+            return self._on_upstream_down(
+                event.column, event.parent, event.saw_traffic
+            )
+        if isinstance(event, ServerLost):
+            self.server_lost = True
+            return []
+        return []
+
+    # ------------------------------------------------------------------
+    # Control messages
+
+    def _on_message(self, message: object, now: float) -> list[Effect]:
+        if isinstance(message, KeepAlive):
+            self._last_heard[message.column] = now
+            return []
+        if isinstance(message, JoinGrant):
+            effects: list[Effect] = []
+            for column, parent in message.assignments:
+                effects.append(self._clip(column, parent, now))
+            return effects
+        if isinstance(message, SetParent):
+            self._last_heard.pop(message.column, None)
+            self.complained.discard(message.column)
+            return [self._clip(message.column, message.parent, now)]
+        if isinstance(message, ThreadRemoved):
+            self.parents.pop(message.column, None)
+            self.children.pop(message.column, None)
+            self._last_heard.pop(message.column, None)
+            self._backoffs.pop(message.column, None)
+            self.complained.discard(message.column)
+            return [StopThread(column=message.column)]
+        if isinstance(message, AttachChild):
+            self.children[message.column] = message.child
+            return []
+        if isinstance(message, DetachChild):
+            self.children.pop(message.column, None)
+            return [CloseChildren(column=message.column)]
+        if isinstance(message, Probe):
+            return [Send(SERVER, ProbeAck(
+                node_id=self.node_id, nonce=message.nonce))]
+        return []
+
+    def _clip(self, column: int, parent: int, now: float) -> Effect:
+        """Retarget one thread's upstream; fresh backoff schedule."""
+        self.parents[column] = parent
+        self._attached_at[column] = now
+        self._backoffs[column] = ReconnectBackoff(
+            self.reconnect_base, self.reconnect_max
+        )
+        return Clip(column=column, parent=parent)
+
+    # ------------------------------------------------------------------
+    # Silence detection -> complaints
+
+    def _on_silence_check(self, now: float) -> list[Effect]:
+        """Timestamp-based detector: complain about threads whose
+        keep-alives stopped arriving."""
+        effects: list[Effect] = []
+        for column, parent in self.parents.items():
+            if parent == SERVER:
+                continue  # served directly by the server: assumed reliable
+            last = self._last_heard.get(
+                column, self._attached_at.get(column, now)
+            )
+            if now - last > self.silence_timeout:
+                effects.extend(self._complain(column, parent))
+        return effects
+
+    def _on_upstream_down(
+        self, column: int, parent: int, saw_traffic: bool
+    ) -> list[Effect]:
+        """Stream-based detector: a session on ``column`` ended."""
+        backoff = self._backoffs.setdefault(
+            column, ReconnectBackoff(self.reconnect_base, self.reconnect_max)
+        )
+        if saw_traffic:
+            backoff.reset()
+            return []  # healthy session: redial immediately
+        effects: list[Effect] = []
+        if self.parents.get(column) == parent:
+            effects.extend(self._complain(column, parent))
+        effects.append(Backoff(column=column, delay=backoff.next()))
+        return effects
+
+    def _complain(self, column: int, suspect: int) -> list[Effect]:
+        """One complaint per column per silence episode, re-armed by
+        ``SetParent``; never after the server is lost, never against
+        the server itself."""
+        if (self.server_lost or column in self.complained
+                or suspect == SERVER):
+            return []
+        self.complained.add(column)
+        return [Send(SERVER, ComplaintMsg(
+            reporter=self.node_id, column=column, suspect=suspect))]

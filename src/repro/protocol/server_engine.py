@@ -1,0 +1,303 @@
+"""The server side of the §3/§5 control protocol as a sans-IO engine.
+
+:class:`ServerEngine` owns the matrix authority
+(:class:`~repro.core.server.CoordinationServer`) and implements every
+server-side protocol decision exactly once:
+
+* **hello** — admit a joiner, grant its thread assignments, attach it
+  to its parents and (under §5 uniform insertion) redirect the children
+  its row displaced;
+* **good-bye** — splice the leaver out, redirecting each of its parents
+  to the corresponding child (Lemma 1);
+* **EOF-crash fast path** — a control connection dying without a
+  good-bye is a crash: splice immediately;
+* **complaint → probe → repair slow path** — a child's complaint about
+  a silent thread opens a failure episode, probes the suspect once (one
+  probe in flight per suspect), and splices it out when the probe timer
+  fires unanswered;
+* **§5 congestion** — shed one thread from a congested node / hand one
+  back, rewiring the affected parent and child.
+
+The engine consumes :mod:`~repro.protocol.events` and returns
+:mod:`~repro.protocol.effects`; it never touches a socket, a clock, or
+an event loop.  Three drivers pump it: the message-level simulator
+(:mod:`repro.protocol_sim.actors`), the live transport
+(:mod:`repro.net.server`), and — via either of those — the chaos
+harness, which asserts invariants against :attr:`core` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.matrix import SERVER
+from ..core.server import CoordinationServer
+from .effects import (
+    Admitted,
+    CloseConnection,
+    ComplaintNoted,
+    Effect,
+    PeerDeparted,
+    Send,
+    StartTimer,
+)
+from .events import ConnectionLost, Event, MessageReceived, TimerFired
+from .messages import (
+    AttachChild,
+    ComplaintMsg,
+    CongestionDrop,
+    CongestionRestore,
+    DetachChild,
+    JoinGrant,
+    JoinRequest,
+    LeaveRequest,
+    Probe,
+    ProbeAck,
+    SetParent,
+    ThreadRemoved,
+)
+from .trace import EngineLog
+
+__all__ = ["ServerEngine"]
+
+
+class ServerEngine:
+    """Pure event-in/effect-out server state machine.
+
+    Args:
+        core: The matrix authority.  Owned by the engine; drivers read
+            it (population, matrix rows) but route every mutation
+            through :meth:`handle`.
+        probe_timeout: Grace period a probed suspect has to answer
+            before being spliced out.
+    """
+
+    def __init__(
+        self, core: CoordinationServer, *, probe_timeout: float = 0.5
+    ) -> None:
+        self.core = core
+        self.probe_timeout = probe_timeout
+        #: suspect -> probe nonce currently outstanding
+        self.pending_probes: dict[int, int] = {}
+        #: every node that left or was spliced out (ids never recycle)
+        self.departed: set[int] = set()
+        #: suspects with an open (complained, not yet repaired) episode
+        self._open_episodes: set[int] = set()
+        self._nonce = 0
+        #: optional event/effect recorder (conformance and replay tests)
+        self.log: Optional[EngineLog] = None
+
+    # ------------------------------------------------------------------
+
+    def handle(self, event: Event) -> list[Effect]:
+        """Advance the state machine by one event."""
+        effects = self._dispatch(event)
+        if self.log is not None:
+            self.log.record(event, effects)
+        return effects
+
+    def _dispatch(self, event: Event) -> list[Effect]:
+        if isinstance(event, MessageReceived):
+            message = event.message
+            if isinstance(message, JoinRequest):
+                return self._on_join()
+            if isinstance(message, LeaveRequest):
+                node_id = (
+                    event.sender if isinstance(event.sender, int)
+                    else message.node_id
+                )
+                return self._on_leave(node_id)
+            if isinstance(message, ComplaintMsg):
+                return self._on_complaint(message.suspect)
+            if isinstance(message, ProbeAck):
+                return self._on_probe_ack(message.node_id, message.nonce)
+            if isinstance(message, CongestionDrop):
+                return self._on_congestion_drop(message.node_id)
+            if isinstance(message, CongestionRestore):
+                return self._on_congestion_restore(message.node_id)
+            return []
+        if isinstance(event, ConnectionLost):
+            return self._on_connection_lost(event.node_id)
+        if isinstance(event, TimerFired):
+            if event.key and event.key[0] == "probe":
+                _, suspect, nonce = event.key
+                return self._on_probe_timeout(suspect, nonce)
+            return []
+        return []
+
+    # ------------------------------------------------------------------
+    # Hello
+
+    def _on_join(self) -> list[Effect]:
+        grant = self.core.hello()
+        node_id = grant.node_id
+        assignments = tuple(
+            (a.column, a.parent) for a in grant.assignments
+        )
+        effects: list[Effect] = [
+            Admitted(node_id=node_id, assignments=assignments),
+            Send(node_id, JoinGrant(node_id=node_id, assignments=assignments)),
+        ]
+        for assignment in grant.assignments:
+            if assignment.parent != SERVER:
+                effects.append(Send(
+                    assignment.parent,
+                    AttachChild(column=assignment.column, child=node_id),
+                ))
+        # Uniform insertion (§5) may splice the newcomer mid-column: the
+        # displaced children re-clip onto it.
+        for redirect in grant.redirects:
+            if redirect.child is None:
+                continue
+            effects.append(Send(
+                redirect.child,
+                SetParent(column=redirect.column, parent=node_id),
+            ))
+            effects.append(Send(
+                node_id,
+                AttachChild(column=redirect.column, child=redirect.child),
+            ))
+        return effects
+
+    # ------------------------------------------------------------------
+    # Good-bye
+
+    def _on_leave(self, node_id: int) -> list[Effect]:
+        if (node_id not in self.core.registry or node_id in self.departed
+                or node_id in self.core.failed):
+            return []
+        self.departed.add(node_id)
+        self._open_episodes.discard(node_id)
+        redirects = self.core.goodbye(node_id)
+        return [
+            PeerDeparted(node_id=node_id, reason="leave"),
+            *self._redirect_sends(redirects),
+        ]
+
+    # ------------------------------------------------------------------
+    # Failure detection and repair
+
+    def _on_complaint(self, suspect: int) -> list[Effect]:
+        if (suspect in self.departed or suspect not in self.core.registry
+                or suspect in self.core.failed):
+            return []
+        effects: list[Effect] = []
+        if suspect not in self._open_episodes:
+            self._open_episodes.add(suspect)
+            effects.append(ComplaintNoted(suspect=suspect))
+        if suspect in self.pending_probes:
+            return effects  # probe already in flight
+        self._nonce += 1
+        self.pending_probes[suspect] = self._nonce
+        effects.append(Send(suspect, Probe(nonce=self._nonce)))
+        effects.append(StartTimer(
+            key=("probe", suspect, self._nonce), delay=self.probe_timeout,
+        ))
+        return effects
+
+    def _on_probe_ack(self, node_id: int, nonce: int) -> list[Effect]:
+        if self.pending_probes.get(node_id) == nonce:
+            del self.pending_probes[node_id]
+        return []
+
+    def _on_probe_timeout(self, suspect: int, nonce: int) -> list[Effect]:
+        if self.pending_probes.get(suspect) != nonce:
+            return []  # the suspect answered: spurious complaint
+        del self.pending_probes[suspect]
+        if suspect in self.departed or suspect not in self.core.registry:
+            return []
+        return [CloseConnection(node_id=suspect),
+                *self._fail_and_splice(suspect)]
+
+    def _on_connection_lost(self, node_id: int) -> list[Effect]:
+        if node_id in self.departed or node_id not in self.core.registry:
+            return []
+        return self._fail_and_splice(node_id)
+
+    def _fail_and_splice(self, node_id: int) -> list[Effect]:
+        """Splice a crashed peer out of every column (Lemma 1)."""
+        self.departed.add(node_id)
+        self._open_episodes.discard(node_id)
+        self.core.fail(node_id)
+        redirects = self.core.repair(node_id)
+        return [
+            PeerDeparted(node_id=node_id, reason="crash"),
+            *self._redirect_sends(redirects),
+        ]
+
+    def _redirect_sends(self, redirects) -> list[Effect]:
+        """Push the post-splice topology to every affected, live peer."""
+        effects: list[Effect] = []
+        for redirect in redirects:
+            if redirect.child is not None:
+                effects.append(Send(
+                    redirect.child,
+                    SetParent(column=redirect.column, parent=redirect.parent),
+                ))
+            if redirect.parent != SERVER:
+                if redirect.child is not None:
+                    effects.append(Send(
+                        redirect.parent,
+                        AttachChild(column=redirect.column, child=redirect.child),
+                    ))
+                else:
+                    effects.append(Send(
+                        redirect.parent,
+                        DetachChild(column=redirect.column),
+                    ))
+        return effects
+
+    # ------------------------------------------------------------------
+    # §5 congestion handling
+
+    def _on_congestion_drop(self, node_id: int) -> list[Effect]:
+        if (node_id in self.departed or node_id not in self.core.registry
+                or node_id in self.core.failed):
+            return []
+        matrix = self.core.matrix
+        if matrix.row(node_id).degree <= 1:
+            return []  # never strand a node with zero threads
+        # Capture the neighbourhood BEFORE the splice: the dropped
+        # column's parent must be retargeted at the dropped column's
+        # child, both read from the pre-drop state.
+        parents_before = matrix.parents_of(node_id)
+        children_before = matrix.children_of(node_id)
+        column = self.core.congestion_drop(node_id)
+        parent = parents_before[column]
+        child = children_before[column]
+        effects: list[Effect] = [
+            Send(node_id, ThreadRemoved(column=column)),
+        ]
+        if parent != SERVER:
+            if child is not None:
+                effects.append(Send(
+                    parent, AttachChild(column=column, child=child)))
+            else:
+                effects.append(Send(parent, DetachChild(column=column)))
+        if child is not None:
+            effects.append(Send(
+                child, SetParent(column=column, parent=parent)))
+        return effects
+
+    def _on_congestion_restore(self, node_id: int) -> list[Effect]:
+        if (node_id in self.departed or node_id not in self.core.registry
+                or node_id in self.core.failed):
+            return []
+        matrix = self.core.matrix
+        if matrix.row(node_id).degree >= matrix.k:
+            return []
+        column = self.core.congestion_restore(node_id)
+        parent = matrix.parent_in_column(node_id, column)
+        child = matrix.child_in_column(node_id, column)
+        effects: list[Effect] = [
+            Send(node_id, SetParent(column=column, parent=parent)),
+        ]
+        if parent != SERVER:
+            effects.append(Send(
+                parent, AttachChild(column=column, child=node_id)))
+        if child is not None:
+            effects.append(Send(
+                node_id, AttachChild(column=column, child=child)))
+            effects.append(Send(
+                child, SetParent(column=column, parent=node_id)))
+        return effects

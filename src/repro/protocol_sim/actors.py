@@ -1,12 +1,15 @@
-"""Server and peer actors: the §3 protocols as message handlers.
+"""Server and peer actors: datagram drivers over the protocol engines.
 
-The :class:`ServerActor` wraps the library's
-:class:`~repro.core.server.CoordinationServer` — the matrix logic is
-identical to the function-call control plane; only the transport
-changes.  Failure detection is end-to-end and complaint-driven, exactly
-as the paper describes: parents emit per-thread keep-alives (standing in
-for the data packets), children whose threads go silent complain, the
-server probes the suspect and, on probe timeout, splices it out.
+Every protocol decision — hello grants, Lemma 1 splices, the
+complaint→probe→repair slow path, silence detection — lives in the
+sans-IO engines of :mod:`repro.protocol`.  The actors here are thin
+drivers: they translate delivered datagrams into engine events, pump
+the returned effects through the latency/loss
+:class:`~repro.protocol_sim.network.MessageNetwork`, and arm engine
+timers on the discrete-event :class:`~repro.sim.engine.Simulator`.
+What stays in this layer is what only this transport can measure:
+ground-truth crash times and the detection/repair-latency records the
+harness reports.
 """
 
 from __future__ import annotations
@@ -14,25 +17,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Optional
 
-
+from ..core.matrix import SERVER
 from ..core.server import CoordinationServer
-from ..sim.engine import Simulator
-from .messages import (
-    SERVER_ADDRESS,
-    AttachChild,
-    ComplaintMsg,
-    CongestionDrop,
-    CongestionRestore,
-    DetachChild,
-    JoinGrant,
-    JoinRequest,
-    KeepAlive,
-    LeaveRequest,
-    Probe,
-    ProbeAck,
-    SetParent,
-    ThreadRemoved,
+from ..protocol import (
+    Admitted,
+    ComplaintNoted,
+    KeepAliveTick,
+    MessageReceived,
+    PeerDeparted,
+    PeerEngine,
+    Send,
+    ServerEngine,
+    SilenceCheck,
+    StartTimer,
+    TimerFired,
 )
+from ..sim.engine import Simulator
+from .messages import SERVER_ADDRESS, JoinRequest
 from .network import MessageNetwork
 
 
@@ -59,7 +60,7 @@ class RepairRecord:
 
 
 class PeerActor:
-    """One peer: keep-alive emission, silence detection, re-attachment.
+    """One peer: a datagram driver around :class:`PeerEngine`.
 
     Args:
         node_id: Server-assigned id.
@@ -81,15 +82,19 @@ class PeerActor:
         self.sim = sim
         self.network = network
         self.keepalive_interval = keepalive_interval
-        self.silence_timeout = silence_timeout
+        self.engine = PeerEngine(node_id, silence_timeout=silence_timeout)
         self.alive = True
-        #: column -> parent we currently receive from
-        self.parents: dict[int, int] = {}
-        #: column -> child we currently forward to
-        self.children: dict[int, int] = {}
-        self._last_heard: dict[int, float] = {}
-        self._complained: set[int] = set()
         self._stop_timers = []
+
+    #: column -> parent we currently receive from (engine state)
+    @property
+    def parents(self) -> dict[int, int]:
+        return self.engine.parents
+
+    #: column -> child we currently forward to (engine state)
+    @property
+    def children(self) -> dict[int, int]:
+        return self.engine.children
 
     # ------------------------------------------------------------------
 
@@ -111,67 +116,37 @@ class PeerActor:
     def _send_keepalives(self, _sim: Simulator) -> None:
         if not self.alive:
             return
-        for column, child in self.children.items():
-            self.network.send(
-                self.node_id, child, KeepAlive(column=column, sender=self.node_id)
-            )
+        self._pump(self.engine.handle(KeepAliveTick(now=self.sim.now)))
 
     def _check_silence(self, _sim: Simulator) -> None:
         if not self.alive:
             return
-        now = self.sim.now
-        for column, parent in self.parents.items():
-            if parent == -1:
-                continue  # served directly by the server: assumed reliable
-            last = self._last_heard.get(column, self._attached_at.get(column, now))
-            if now - last > self.silence_timeout and column not in self._complained:
-                self._complained.add(column)
-                self.network.send(
-                    self.node_id,
-                    SERVER_ADDRESS,
-                    ComplaintMsg(reporter=self.node_id, column=column,
-                                 suspect=parent),
-                )
-
-    # bookkeeping of when each thread was (re)attached, to seed timers
-    @property
-    def _attached_at(self) -> dict[int, float]:
-        if not hasattr(self, "_attached_at_store"):
-            self._attached_at_store: dict[int, float] = {}
-        return self._attached_at_store
+        self._pump(self.engine.handle(SilenceCheck(now=self.sim.now)))
 
     # ------------------------------------------------------------------
 
     def handle(self, message: object, sender: Hashable) -> None:
         if not self.alive:
             return
-        if isinstance(message, KeepAlive):
-            self._last_heard[message.column] = self.sim.now
-        elif isinstance(message, JoinGrant):
-            for column, parent in message.assignments:
-                self.parents[column] = parent
-                self._attached_at[column] = self.sim.now
-        elif isinstance(message, AttachChild):
-            self.children[message.column] = message.child
-        elif isinstance(message, DetachChild):
-            self.children.pop(message.column, None)
-        elif isinstance(message, SetParent):
-            self.parents[message.column] = message.parent
-            self._attached_at[message.column] = self.sim.now
-            self._last_heard.pop(message.column, None)
-            self._complained.discard(message.column)
-        elif isinstance(message, ThreadRemoved):
-            self.parents.pop(message.column, None)
-            self.children.pop(message.column, None)
-            self._last_heard.pop(message.column, None)
-            self._complained.discard(message.column)
-        elif isinstance(message, Probe):
-            self.network.send(self.node_id, SERVER_ADDRESS,
-                              ProbeAck(node_id=self.node_id, nonce=message.nonce))
+        self._pump(self.engine.handle(
+            MessageReceived(message, sender=sender, now=self.sim.now)
+        ))
+
+    def _pump(self, effects) -> None:
+        """Perform engine effects on the datagram transport.  Data-plane
+        effects (Clip/StopThread/CloseChildren/Backoff) have no meaning
+        here: keep-alives stand in for the streams."""
+        for effect in effects:
+            if isinstance(effect, Send):
+                destination = (
+                    SERVER_ADDRESS if effect.to == SERVER else effect.to
+                )
+                self.network.send(self.node_id, destination, effect.message)
 
 
 class ServerActor:
-    """The coordination authority as a message-driven actor."""
+    """The coordination authority: a datagram driver around
+    :class:`ServerEngine`."""
 
     def __init__(
         self,
@@ -183,14 +158,12 @@ class ServerActor:
         self.core = core
         self.sim = sim
         self.network = network
-        self.probe_timeout = probe_timeout
-        #: suspect -> probe nonce currently outstanding
-        self._pending_probes: dict[int, int] = {}
-        self._nonce = 0
+        self.engine = ServerEngine(core, probe_timeout=probe_timeout)
         self.repairs: list[RepairRecord] = []
         self._crash_times: dict[int, float] = {}
         #: callback the harness sets to learn about admitted peers
         self.on_admit = None
+        self._reply_to: Optional[int] = None
 
     # ------------------------------------------------------------------
 
@@ -200,158 +173,37 @@ class ServerActor:
 
     def handle(self, message: object, sender: Hashable) -> None:
         if isinstance(message, JoinRequest):
-            self._handle_join(message)
-        elif isinstance(message, LeaveRequest):
-            self._handle_leave(message)
-        elif isinstance(message, ComplaintMsg):
-            self._handle_complaint(message)
-        elif isinstance(message, CongestionDrop):
-            self._handle_congestion_drop(message)
-        elif isinstance(message, CongestionRestore):
-            self._handle_congestion_restore(message)
-        elif isinstance(message, ProbeAck):
-            self._pending_probes.pop(message.node_id, None)
+            self._reply_to = message.reply_to
+        self._pump(self.engine.handle(
+            MessageReceived(message, sender=sender, now=self.sim.now)
+        ))
 
-    def _handle_join(self, message: JoinRequest) -> None:
-        grant = self.core.hello()
-        node_id = grant.node_id
-        if self.on_admit is not None:
-            self.on_admit(node_id, message.reply_to)
-        self.network.send(
-            SERVER_ADDRESS, node_id,
-            JoinGrant(
-                node_id=node_id,
-                assignments=tuple((a.column, a.parent) for a in grant.assignments),
-            ),
-        )
-        for assignment in grant.assignments:
-            if assignment.parent != -1:
-                self.network.send(
-                    SERVER_ADDRESS, assignment.parent,
-                    AttachChild(column=assignment.column, child=node_id),
+    def _pump(self, effects) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.network.send(SERVER_ADDRESS, effect.to, effect.message)
+            elif isinstance(effect, StartTimer):
+                self.sim.schedule_after(
+                    effect.delay,
+                    lambda _sim, key=effect.key: self._pump(
+                        self.engine.handle(TimerFired(key))
+                    ),
+                    label="probe-timeout",
                 )
-        for redirect in grant.redirects:
-            if redirect.child is not None:
-                self.network.send(
-                    SERVER_ADDRESS, redirect.child,
-                    SetParent(column=redirect.column, parent=node_id),
-                )
-                self.network.send(
-                    SERVER_ADDRESS, node_id,
-                    AttachChild(column=redirect.column, child=redirect.child),
-                )
-
-    def _handle_leave(self, message: LeaveRequest) -> None:
-        if message.node_id not in self.core.registry:
-            return
-        redirects = self.core.goodbye(message.node_id)
-        self._broadcast_redirects(redirects)
-
-    def _handle_complaint(self, message: ComplaintMsg) -> None:
-        suspect = message.suspect
-        if suspect not in self.core.registry or suspect in self.core.failed:
-            return
-        record = next(
-            (r for r in self.repairs
-             if r.victim == suspect and r.repaired_at is None),
-            None,
-        )
-        if record is None:
-            record = RepairRecord(
-                victim=suspect,
-                crashed_at=self._crash_times.get(suspect, self.sim.now),
-                first_complaint_at=self.sim.now,
-            )
-            self.repairs.append(record)
-        if suspect in self._pending_probes:
-            return  # probe already in flight
-        self._nonce += 1
-        nonce = self._nonce
-        self._pending_probes[suspect] = nonce
-        self.network.send(SERVER_ADDRESS, suspect, Probe(nonce=nonce))
-        self.sim.schedule_after(
-            self.probe_timeout,
-            lambda _sim, s=suspect, n=nonce: self._probe_timeout(s, n),
-            label="probe-timeout",
-        )
-
-    def _handle_congestion_drop(self, message: CongestionDrop) -> None:
-        node_id = message.node_id
-        if node_id not in self.core.registry or node_id in self.core.failed:
-            return
-        matrix = self.core.matrix
-        if matrix.row(node_id).degree <= 1:
-            return  # never strand a node with zero threads
-        # Capture the neighbourhood BEFORE the splice: the dropped
-        # column's parent must be retargeted at the dropped column's
-        # child, both read from the pre-drop state.
-        parents_before = matrix.parents_of(node_id)
-        children_before = matrix.children_of(node_id)
-        column = self.core.congestion_drop(node_id)
-        parent = parents_before[column]
-        child = children_before[column]
-        # the shedding node forgets the column entirely
-        self.network.send(SERVER_ADDRESS, node_id, ThreadRemoved(column=column))
-        if parent != -1:
-            if child is not None:
-                self.network.send(SERVER_ADDRESS, parent,
-                                  AttachChild(column=column, child=child))
-            else:
-                self.network.send(SERVER_ADDRESS, parent,
-                                  DetachChild(column=column))
-        if child is not None:
-            self.network.send(SERVER_ADDRESS, child,
-                              SetParent(column=column, parent=parent))
-
-    def _handle_congestion_restore(self, message: CongestionRestore) -> None:
-        node_id = message.node_id
-        if node_id not in self.core.registry or node_id in self.core.failed:
-            return
-        matrix = self.core.matrix
-        if matrix.row(node_id).degree >= matrix.k:
-            return
-        column = self.core.congestion_restore(node_id)
-        parent = matrix.parent_in_column(node_id, column)
-        child = matrix.child_in_column(node_id, column)
-        self.network.send(SERVER_ADDRESS, node_id,
-                          SetParent(column=column, parent=parent))
-        if parent != -1:
-            self.network.send(SERVER_ADDRESS, parent,
-                              AttachChild(column=column, child=node_id))
-        if child is not None:
-            self.network.send(SERVER_ADDRESS, node_id,
-                              AttachChild(column=column, child=child))
-            self.network.send(SERVER_ADDRESS, child,
-                              SetParent(column=column, parent=node_id))
-
-    def _probe_timeout(self, suspect: int, nonce: int) -> None:
-        if self._pending_probes.get(suspect) != nonce:
-            return  # the suspect answered: spurious complaint
-        self._pending_probes.pop(suspect, None)
-        if suspect not in self.core.registry:
-            return
-        self.core.fail(suspect)
-        redirects = self.core.repair(suspect)
-        self._broadcast_redirects(redirects)
-        for record in self.repairs:
-            if record.victim == suspect and record.repaired_at is None:
-                record.repaired_at = self.sim.now
-
-    def _broadcast_redirects(self, redirects) -> None:
-        for redirect in redirects:
-            if redirect.parent != -1:
-                if redirect.child is not None:
-                    self.network.send(
-                        SERVER_ADDRESS, redirect.parent,
-                        AttachChild(column=redirect.column, child=redirect.child),
-                    )
-                else:
-                    self.network.send(
-                        SERVER_ADDRESS, redirect.parent,
-                        DetachChild(column=redirect.column),
-                    )
-            if redirect.child is not None:
-                self.network.send(
-                    SERVER_ADDRESS, redirect.child,
-                    SetParent(column=redirect.column, parent=redirect.parent),
-                )
+            elif isinstance(effect, Admitted):
+                if self.on_admit is not None:
+                    self.on_admit(effect.node_id, self._reply_to)
+            elif isinstance(effect, ComplaintNoted):
+                self.repairs.append(RepairRecord(
+                    victim=effect.suspect,
+                    crashed_at=self._crash_times.get(
+                        effect.suspect, self.sim.now),
+                    first_complaint_at=self.sim.now,
+                ))
+            elif isinstance(effect, PeerDeparted):
+                if effect.reason == "crash":
+                    for record in self.repairs:
+                        if (record.victim == effect.node_id
+                                and record.repaired_at is None):
+                            record.repaired_at = self.sim.now
+            # CloseConnection: the datagram transport has no connections.

@@ -1,129 +1,40 @@
-"""Protocol messages for the actor-level simulation.
-
-These are the §3 protocol's concrete datagrams.  Every message carries a
-nominal wire size so the harness can report server byte-load; sizes are
-small constants (a few tens of bytes) per the paper's "very small data
-load on the server" claim.
+"""Compatibility shim: the protocol messages moved to
+:mod:`repro.protocol.messages` (the sans-IO protocol core shares them
+across the simulator, virtual-net and live-transport drivers).  Import
+from there in new code; this module re-exports the full vocabulary so
+existing imports keep working.
 """
 
-from __future__ import annotations
+from ..protocol.messages import (  # noqa: F401
+    SERVER_ADDRESS,
+    AttachChild,
+    ComplaintMsg,
+    CongestionDrop,
+    CongestionRestore,
+    DetachChild,
+    JoinGrant,
+    JoinRequest,
+    KeepAlive,
+    LeaveRequest,
+    Probe,
+    ProbeAck,
+    SetParent,
+    ThreadRemoved,
+)
 
-from dataclasses import dataclass
-
-#: Address of the server actor.
-SERVER_ADDRESS = "server"
-
-
-@dataclass(frozen=True)
-class JoinRequest:
-    """A prospective peer asks to join (the hello protocol)."""
-
-    reply_to: int  # provisional transport address chosen by the joiner
-    size: int = 16
-
-
-@dataclass(frozen=True)
-class JoinGrant:
-    """Server -> new peer: your id and your thread assignments."""
-
-    node_id: int
-    assignments: tuple[tuple[int, int], ...]  # (column, parent)
-    size: int = 48
-
-
-@dataclass(frozen=True)
-class AttachChild:
-    """Server -> parent: start streaming ``column`` to ``child``."""
-
-    column: int
-    child: int
-    size: int = 24
-
-
-@dataclass(frozen=True)
-class DetachChild:
-    """Server -> parent: ``column`` now hangs (stop forwarding on it)."""
-
-    column: int
-    size: int = 20
-
-
-@dataclass(frozen=True)
-class SetParent:
-    """Server -> child: your stream on ``column`` now comes from ``parent``."""
-
-    column: int
-    parent: int
-    size: int = 24
-
-
-@dataclass(frozen=True)
-class LeaveRequest:
-    """Peer -> server: graceful good-bye."""
-
-    node_id: int
-    size: int = 16
-
-
-@dataclass(frozen=True)
-class KeepAlive:
-    """Parent -> child, per thread per interval: the stream is alive.
-
-    Stands in for the data packets themselves — a child detects a dead
-    thread by their absence.
-    """
-
-    column: int
-    sender: int
-    size: int = 8
-
-
-@dataclass(frozen=True)
-class CongestionDrop:
-    """Peer -> server: I am congested; splice me out of one thread."""
-
-    node_id: int
-    size: int = 16
-
-
-@dataclass(frozen=True)
-class CongestionRestore:
-    """Peer -> server: congestion cleared; give me a thread back."""
-
-    node_id: int
-    size: int = 16
-
-
-@dataclass(frozen=True)
-class ThreadRemoved:
-    """Server -> peer: you no longer hold ``column`` at all (shed)."""
-
-    column: int
-    size: int = 16
-
-
-@dataclass(frozen=True)
-class ComplaintMsg:
-    """Child -> server: my incoming thread on ``column`` went silent."""
-
-    reporter: int
-    column: int
-    suspect: int
-    size: int = 24
-
-
-@dataclass(frozen=True)
-class Probe:
-    """Server -> suspect: are you alive?"""
-
-    nonce: int
-    size: int = 12
-
-
-@dataclass(frozen=True)
-class ProbeAck:
-    """Suspect -> server: alive (cancels the pending repair)."""
-
-    node_id: int
-    nonce: int
-    size: int = 12
+__all__ = [
+    "SERVER_ADDRESS",
+    "AttachChild",
+    "ComplaintMsg",
+    "CongestionDrop",
+    "CongestionRestore",
+    "DetachChild",
+    "JoinGrant",
+    "JoinRequest",
+    "KeepAlive",
+    "LeaveRequest",
+    "Probe",
+    "ProbeAck",
+    "SetParent",
+    "ThreadRemoved",
+]

@@ -1,0 +1,172 @@
+"""Cross-driver conformance: one protocol core, identical effect traces.
+
+The same §3 scenario — three sequential joins, a graceful leave, then a
+slow-path failure (silence → complaint → probe → timeout → splice) — is
+scripted against two entirely different drivers:
+
+* the message-level discrete-event simulator
+  (:mod:`repro.protocol_sim`), and
+* the live transport code on the in-memory virtual network
+  (:mod:`repro.net` + :mod:`repro.net.testing`),
+
+with an :class:`~repro.protocol.EngineLog` attached to each server
+engine.  Both must produce the *same flattened effect trace*: events
+that differ between transports (duplicate complaints, per-transport
+timer cadence) produce zero effects and vanish from the flat trace.
+
+The trace is also pinned against a golden file, as are the chaos-tier
+``trace_digest`` values at seeds 0 and 7 — the wire-level regression
+net for the whole control plane.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.net.testing.scenarios import SCENARIOS, run_scenario_sync, trace_digest
+from repro.protocol import Clip, ComplaintMsg, EngineLog, Send
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+#: Geometry for the cross-driver script: k == d makes thread
+#: assignments independent of the rng stream, so both drivers see the
+#: same grants no matter how their transports interleave draws.
+K = D = 2
+PEERS = 3
+PROBE_TIMEOUT = 0.5
+
+
+def run_simulator_script():
+    """The script on the message-level simulator; returns both logs."""
+    from repro.protocol_sim import ProtocolConfig, ProtocolSimulation
+
+    sim = ProtocolSimulation(ProtocolConfig(
+        k=K, d=D, seed=0, jitter=0.0, message_loss=0.0,
+        keepalive_interval=0.2, silence_timeout=0.5,
+        probe_timeout=PROBE_TIMEOUT,
+    ))
+    sim.server.engine.log = EngineLog()
+    sim.grow(PEERS, settle=1.0)
+    observer = sim.peers[2]
+    observer.engine.log = EngineLog()
+    sim.leave(1)
+    # The leaver shuts down after its good-bye, as a real peer would
+    # (the net driver's ``leave()`` closes every transport).
+    sim.peers[1].crash()
+    sim.run(1.0)
+    sim.crash(0)
+    sim.run(5.0)
+    return sim.server.engine.log, observer.engine.log
+
+
+def run_virtualnet_script():
+    """The same script on the live transport over the virtual network."""
+    import asyncio
+
+    from repro.net.testing.scenarios import ChaosConfig, ChaosHarness
+
+    async def script():
+        harness = ChaosHarness(ChaosConfig(
+            peers=PEERS, k=K, d=D, seed=0,
+            silence_timeout=0.5, probe_timeout=PROBE_TIMEOUT,
+        ))
+        try:
+            await harness.start(peers=0)
+            harness.server.engine.log = EngineLog()
+            for _ in range(PEERS):
+                await harness.add_peer()
+            observer = harness.peers[2]
+            observer.engine.log = EngineLog()
+            await harness.leave(1)
+            await harness.settle(1.0)
+            harness.isolate(0)
+            await harness.run_until(
+                lambda: harness.server.stats.repairs >= 1, timeout=20.0)
+            await harness.settle(1.0)
+            # Snapshot before teardown: closing connections feeds the
+            # engines teardown noise that is not part of the script.
+            return (
+                EngineLog(events=list(harness.server.engine.log.events),
+                          steps=list(harness.server.engine.log.steps)),
+                EngineLog(events=list(observer.engine.log.events),
+                          steps=list(observer.engine.log.steps)),
+            )
+        finally:
+            await harness.teardown()
+
+    return asyncio.run(script())
+
+
+@pytest.fixture(scope="module")
+def traces():
+    sim_server, sim_peer = run_simulator_script()
+    net_server, net_peer = run_virtualnet_script()
+    return sim_server, sim_peer, net_server, net_peer
+
+
+class TestCrossDriverConformance:
+    def test_server_effect_traces_identical(self, traces):
+        sim_server, _, net_server, _ = traces
+        assert sim_server.effect_reprs() == net_server.effect_reprs()
+
+    def test_server_effect_trace_matches_golden(self, traces):
+        sim_server, _, _, _ = traces
+        golden = json.loads(
+            (GOLDENS / "protocol_effects.json").read_text())
+        assert sim_server.effect_reprs() == golden["server_effects"]
+
+    def test_observer_clips_identical(self, traces):
+        """The surviving child re-clips through the same sequence on
+        both drivers: splice-to-grandparent on the leave, then
+        repair-to-server after the crash (the log attaches after the
+        grant, so admission clips are not recorded)."""
+        _, sim_peer, _, net_peer = traces
+        clips = lambda log: [  # noqa: E731
+            e for e in log.effect_trace() if isinstance(e, Clip)]
+        assert clips(sim_peer) == clips(net_peer)
+        assert clips(sim_peer), "observer never clipped a thread"
+
+    def test_observer_complaints_identical(self, traces):
+        """Both drivers complain about the same suspect on the same
+        columns (order may differ: the net driver's threads race)."""
+        _, sim_peer, _, net_peer = traces
+        complaints = lambda log: {  # noqa: E731
+            e.message for e in log.effect_trace()
+            if isinstance(e, Send) and isinstance(e.message, ComplaintMsg)}
+        assert complaints(sim_peer) == complaints(net_peer)
+        assert complaints(sim_peer), "observer never complained"
+
+
+class TestChaosDigestGoldens:
+    """The wire-level regression net: refactors of the control plane
+    must not move a single byte on the virtual network."""
+
+    #: Fast tier-1 subset; the slow test sweeps the full catalogue.
+    SUBSET = [
+        "baseline",
+        "graceful_leave_reclip",
+        "crash_parent_midstream",
+        "uniform_adversarial_joins",
+    ]
+
+    @pytest.fixture(scope="class")
+    def goldens(self):
+        return json.loads((GOLDENS / "chaos_digests.json").read_text())
+
+    @pytest.mark.parametrize("name", SUBSET)
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_digest_unchanged(self, name, seed, goldens):
+        result = run_scenario_sync(name, seed=seed)
+        assert trace_digest(result.trace) == goldens[f"{name}@{seed}"]
+
+    @pytest.mark.slow
+    def test_all_digests_unchanged(self, goldens):
+        mismatches = {}
+        for name in sorted(SCENARIOS):
+            for seed in (0, 7):
+                result = run_scenario_sync(name, seed=seed)
+                digest = trace_digest(result.trace)
+                if digest != goldens[f"{name}@{seed}"]:
+                    mismatches[f"{name}@{seed}"] = digest
+        assert not mismatches, mismatches

@@ -1,0 +1,190 @@
+"""Property-based tests for the sans-IO protocol engines.
+
+Two contracts the drivers rely on:
+
+* the :class:`~repro.protocol.ServerEngine` never emits an effect
+  aimed at a peer that already departed (left or was spliced out) —
+  drivers would otherwise write to dead connections or, worse, revive
+  stale topology;
+* engines are deterministic state machines: replaying a recorded event
+  trace into a fresh, identically-seeded engine reproduces the exact
+  effect trace (what makes the cross-driver conformance goldens and
+  crash-consistent debugging possible).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CoordinationServer
+from repro.core.matrix import SERVER
+from repro.protocol import (
+    ComplaintMsg,
+    ConnectionLost,
+    CongestionDrop,
+    CongestionRestore,
+    EngineLog,
+    JoinGrant,
+    JoinRequest,
+    KeepAlive,
+    KeepAliveTick,
+    LeaveRequest,
+    MessageReceived,
+    PeerEngine,
+    ProbeAck,
+    Send,
+    ServerEngine,
+    SetParent,
+    SilenceCheck,
+    ThreadRemoved,
+    TimerFired,
+    UpstreamDown,
+    replay,
+)
+
+server_ops = st.lists(
+    st.tuples(
+        st.sampled_from([
+            "join", "leave", "complaint", "ack", "timeout",
+            "lost", "drop", "restore",
+        ]),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def drive_server(engine: ServerEngine, ops, *, check=None) -> list:
+    """Feed a random op sequence, resolving indices against live state.
+
+    Returns the list of events actually handled (for replay tests).
+    ``check`` is called as ``check(event, effects)`` after every step.
+    """
+    admitted: list[int] = []
+    pending_timers: list[tuple] = []
+    events = []
+
+    def step(event):
+        effects = engine.handle(event)
+        events.append(event)
+        for effect in effects:
+            if hasattr(effect, "key"):  # StartTimer
+                pending_timers.append(effect.key)
+        if check is not None:
+            check(event, effects)
+
+    for op, raw in ops:
+        if op == "join":
+            before = set(engine.core.registry)
+            step(MessageReceived(JoinRequest(reply_to=0)))
+            admitted.extend(sorted(set(engine.core.registry) - before))
+        elif op == "timeout":
+            if not pending_timers:
+                continue
+            key = pending_timers.pop(raw % len(pending_timers))
+            step(TimerFired(key))
+        elif admitted:
+            node = admitted[raw % len(admitted)]
+            if op == "leave":
+                step(MessageReceived(LeaveRequest(node_id=node), sender=node))
+            elif op == "complaint":
+                step(MessageReceived(
+                    ComplaintMsg(reporter=node, column=0, suspect=node)))
+            elif op == "ack":
+                nonce = engine.pending_probes.get(node, 0)
+                step(MessageReceived(ProbeAck(node_id=node, nonce=nonce)))
+            elif op == "lost":
+                step(ConnectionLost(node))
+            elif op == "drop":
+                step(MessageReceived(CongestionDrop(node_id=node)))
+            elif op == "restore":
+                step(MessageReceived(CongestionRestore(node_id=node)))
+    return events
+
+
+class TestServerEngineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=server_ops, seed=st.integers(0, 2**31 - 1),
+           mode=st.sampled_from(["append", "uniform"]))
+    def test_never_targets_departed_peer(self, ops, seed, mode):
+        engine = ServerEngine(CoordinationServer(
+            3, 2, np.random.default_rng(seed), mode))
+
+        def check(event, effects):
+            for effect in effects:
+                if isinstance(effect, Send) and effect.to != SERVER:
+                    assert effect.to not in engine.departed, (
+                        f"{event} made the engine send "
+                        f"{effect.message} to departed peer {effect.to}"
+                    )
+
+        drive_server(engine, ops, check=check)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=server_ops, seed=st.integers(0, 2**31 - 1),
+           mode=st.sampled_from(["append", "uniform"]))
+    def test_replay_reproduces_effect_trace(self, ops, seed, mode):
+        recorded = ServerEngine(CoordinationServer(
+            3, 2, np.random.default_rng(seed), mode))
+        recorded.log = EngineLog()
+        events = drive_server(recorded, ops)
+
+        fresh = ServerEngine(CoordinationServer(
+            3, 2, np.random.default_rng(seed), mode))
+        assert replay(fresh, events) == recorded.log.effect_trace()
+        assert fresh.departed == recorded.departed
+        assert fresh.pending_probes == recorded.pending_probes
+
+
+peer_events = st.lists(
+    st.one_of(
+        st.builds(
+            lambda assignments: MessageReceived(JoinGrant(
+                node_id=7, assignments=tuple(assignments))),
+            st.lists(st.tuples(st.integers(0, 3),
+                               st.integers(-1, 5)), max_size=3),
+        ),
+        st.builds(
+            lambda column, parent: MessageReceived(
+                SetParent(column=column, parent=parent)),
+            st.integers(0, 3), st.integers(-1, 5),
+        ),
+        st.builds(
+            lambda column: MessageReceived(ThreadRemoved(column=column)),
+            st.integers(0, 3),
+        ),
+        st.builds(
+            lambda column, sender, now: MessageReceived(
+                KeepAlive(column=column, sender=sender), now=now),
+            st.integers(0, 3), st.integers(0, 5),
+            st.floats(0, 100, allow_nan=False),
+        ),
+        st.builds(KeepAliveTick, now=st.floats(0, 100, allow_nan=False)),
+        st.builds(SilenceCheck, now=st.floats(0, 100, allow_nan=False)),
+        st.builds(
+            UpstreamDown,
+            column=st.integers(0, 3),
+            parent=st.integers(-1, 5),
+            saw_traffic=st.booleans(),
+        ),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestPeerEngineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(events=peer_events)
+    def test_replay_reproduces_effect_trace(self, events):
+        recorded = PeerEngine(7, silence_timeout=1.0)
+        recorded.log = EngineLog()
+        for event in events:
+            recorded.handle(event)
+
+        fresh = PeerEngine(7, silence_timeout=1.0)
+        assert replay(fresh, events) == recorded.log.effect_trace()
+        assert fresh.parents == recorded.parents
+        assert fresh.children == recorded.children
+        assert fresh.complained == recorded.complained

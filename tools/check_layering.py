@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Layering contract for the sans-IO protocol core.
+
+``repro.protocol`` must stay pure: event in, effects out, no I/O and no
+knowledge of any driver.  This checker walks the package's ASTs and
+rejects any import of
+
+* ``asyncio`` (or any stdlib I/O loop: ``socket``, ``selectors``),
+* ``repro.net`` / ``repro.sim`` / ``repro.protocol_sim`` — the drivers
+  that pump the engines must depend on the core, never the reverse —
+
+whether spelled absolute or relative (``from ..net import ...``).
+
+Run from the repo root (CI's lint job does, and a tier-1 test wraps
+it):
+
+    python tools/check_layering.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+PROTOCOL_DIR = Path(__file__).resolve().parent.parent / "src" / "repro" / "protocol"
+
+#: Module roots the protocol core may never import.
+BANNED_ROOTS = {
+    "asyncio",
+    "socket",
+    "selectors",
+    "repro.net",
+    "repro.sim",
+    "repro.protocol_sim",
+}
+
+#: Sibling packages of ``repro.protocol`` that are off-limits when
+#: reached by relative import (``from ..net import ...``).
+BANNED_SIBLINGS = {"net", "sim", "protocol_sim"}
+
+
+def _banned(module: str) -> bool:
+    return any(
+        module == root or module.startswith(root + ".")
+        for root in BANNED_ROOTS
+    )
+
+
+def check_file(path: Path) -> list[str]:
+    """Return one violation string per banned import in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _banned(alias.name):
+                    violations.append(
+                        f"{path}:{node.lineno}: imports {alias.name!r}"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and _banned(module):
+                violations.append(
+                    f"{path}:{node.lineno}: imports from {module!r}"
+                )
+            elif node.level >= 2:
+                # from ..<sibling> import ... escapes the package; only
+                # pure layers (repro.core, repro.coding) are allowed.
+                root = module.split(".")[0] if module else ""
+                if root in BANNED_SIBLINGS:
+                    violations.append(
+                        f"{path}:{node.lineno}: imports from "
+                        f"{'.' * node.level}{module!r}"
+                    )
+    return violations
+
+
+def check_protocol_package(root: Path = PROTOCOL_DIR) -> list[str]:
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        violations.extend(check_file(path))
+    return violations
+
+
+def main() -> int:
+    if not PROTOCOL_DIR.is_dir():
+        print(f"error: {PROTOCOL_DIR} not found", file=sys.stderr)
+        return 2
+    violations = check_protocol_package()
+    if violations:
+        print("repro.protocol layering violations:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("repro.protocol layering: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
