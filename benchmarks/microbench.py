@@ -24,7 +24,11 @@ JSON perf snapshot so the trajectory across PRs is diffable:
 * **net_throughput** — end-to-end packets/s of one outbound pump over a
   real loopback TCP socket: the batched pipeline (``emit_batch`` →
   encode-once frames → coalesced ``writelines`` flush) vs the scalar
-  per-packet path, plus the observed frames-per-flush ratio.
+  per-packet path, plus the observed frames-per-flush ratio;
+* **obs_overhead** — the same slot loop and sender enqueue path with
+  and without ``repro.obs`` instrumentation attached, interleaved A/B
+  slices in one process; the acceptance bar is a relative throughput
+  of >= 0.98 on both arms (observability must cost <= 2%).
 
 Usage::
 
@@ -59,7 +63,7 @@ from repro.sim.broadcast import BroadcastSimulation
 from repro.sim.links import LossModel
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUT = REPO_ROOT / "BENCH_PR6.json"
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR8.json"
 #: Perf snapshot recorded before the unified-runtime migration; the
 #: runtime_overhead bench reads its slot-loop numbers as the reference.
 PR1_SNAPSHOT = REPO_ROOT / "BENCH_PR1.json"
@@ -497,6 +501,107 @@ def bench_net_throughput(quick: bool) -> dict[str, float]:
     return asyncio.run(_run_both())
 
 
+def bench_obs_overhead(quick: bool, trials: int = 5) -> dict[str, float]:
+    """Instrumented vs uninstrumented hot paths, same-run A/B.
+
+    Two arms, each measured in ``trials`` interleaved slices with the
+    median ratio reported (so load drift on a shared machine cannot
+    penalise one arm):
+
+    * ``relative_throughput_slot_loop`` — a seeded E7-style broadcast
+      run with ``SlottedRuntime.attach_obs`` (slot-timing histogram +
+      three counters per slot) vs the identical run unattached.
+    * ``relative_throughput_sender`` — ``PacketSender.enqueue_frame``
+      under constant backpressure eviction with the per-node logger
+      wired (the instrumented drop path) vs a bare sender.
+
+    Both ratios must stay >= 0.98: the observability layer's hot-path
+    budget is <= 2%.
+    """
+    from statistics import median
+
+    from repro.net.streams import PacketSender
+    from repro.obs import Registry
+
+    k, d, n = (4, 2, 8) if quick else (8, 2, 24)
+    generation_size, payload_size = (8, 64) if quick else (16, 64)
+    rng = np.random.default_rng(404)
+    content = bytes(
+        rng.integers(0, 256, size=generation_size * payload_size, dtype=np.uint8)
+    )
+    budget = 200 if quick else 400
+
+    runs_per_slice = 12 if quick else 6
+
+    def _slot_run(instrumented: bool) -> float:
+        # One seeded run is a few ms; aggregate a batch per slice so the
+        # ratio measures instrumentation, not scheduler noise.
+        slots, elapsed = 0, 0.0
+        for _ in range(runs_per_slice):
+            net = OverlayNetwork(k=k, d=d, seed=404)
+            net.grow(n)
+            sim = BroadcastSimulation(
+                net, content, GenerationParams(generation_size, payload_size),
+                seed=404, loss=LossModel(0.05),
+            )
+            if instrumented:
+                sim.runtime.attach_obs(Registry("bench"))
+            start = time.perf_counter()
+            report = sim.run_until_complete(max_slots=budget)
+            elapsed += time.perf_counter() - start
+            assert report.completion_fraction == 1.0
+            slots += report.slots
+        return slots / elapsed
+
+    class _NullWriter:
+        """Satisfies PacketSender's writer slot; enqueue never touches it."""
+
+        def write(self, data) -> None:  # pragma: no cover - not reached
+            raise AssertionError("enqueue path must not write")
+
+    import logging
+
+    frame = b"\x00" * (5 + 4 + generation_size + payload_size)
+    enqueues = 20_000 if quick else 100_000
+    # Deployment default: the logger is wired but DEBUG is off, so the
+    # per-eviction cost is the None check plus an isEnabledFor bailout.
+    # (With --log-level debug each drop builds a LogRecord — that is a
+    # diagnostic mode, not the steady-state budget this bench gates.)
+    silent = logging.getLogger("repro.bench.obs_overhead")
+    silent.addHandler(logging.NullHandler())
+    silent.propagate = False
+    silent.setLevel(logging.WARNING)
+
+    def _sender_run(instrumented: bool) -> float:
+        sender = PacketSender(
+            _NullWriter(), column=0, sender_id=1, limit=8,
+            logger=silent if instrumented else None,
+        )
+        start = time.perf_counter()
+        for _ in range(enqueues):
+            sender.enqueue_frame(frame)
+        elapsed = time.perf_counter() - start
+        assert sender.stats.dropped == enqueues - 8
+        sender.close()
+        return enqueues / elapsed
+
+    def _ab(run) -> tuple[float, float, float]:
+        instrumented_rates, bare_rates, ratios = [], [], []
+        run(True), run(False)  # warm both arms
+        for _ in range(trials):
+            instrumented_rates.append(run(True))
+            bare_rates.append(run(False))
+            ratios.append(instrumented_rates[-1] / bare_rates[-1])
+        return median(instrumented_rates), median(bare_rates), median(ratios)
+
+    metrics: dict[str, float] = {}
+    (metrics["slots_per_s"], metrics["slots_per_s_bare"],
+     metrics["relative_throughput_slot_loop"]) = _ab(_slot_run)
+    (metrics["enqueues_per_s"], metrics["enqueues_per_s_bare"],
+     metrics["relative_throughput_sender"]) = _ab(_sender_run)
+    return metrics
+
+
 def bench_slot_loop(quick: bool) -> dict[str, float]:
     """E7-style broadcast run: k=16, d=2, N=64 peers, 5% loss."""
     k, d, n = (8, 2, 16) if quick else (16, 2, 64)
@@ -565,6 +670,7 @@ def run(quick: bool) -> dict[str, dict[str, float]]:
         "net_throughput": bench_net_throughput(quick),
         "slot_loop": bench_slot_loop(quick),
         "runtime_overhead": bench_runtime_overhead(quick),
+        "obs_overhead": bench_obs_overhead(quick),
     }
 
 

@@ -21,9 +21,40 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import logging
+import os
 import sys
+from pathlib import Path
+from typing import Optional
 
 import numpy as np
+
+
+def _configure_logging(level: Optional[str]) -> None:
+    """Route ``repro.net.*`` logs to stderr at the requested level.
+
+    Without ``--log-level`` the library stays silent below WARNING
+    (Python's last-resort handler), so tests and benches see no output.
+    """
+    if not level:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    logger = logging.getLogger("repro.net")
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level.upper()))
+
+
+def _write_stats_json(path: Optional[str], snapshot: Optional[dict]) -> None:
+    """Dump one obs snapshot to ``path`` (no-op when either is unset)."""
+    if path is None or snapshot is None:
+        return
+    text = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    Path(path).write_text(text)
+    print(f"stats snapshot written to {path}")
 
 
 def _install_event_loop(no_uvloop: bool) -> str:
@@ -135,12 +166,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from .net import LoopbackConfig, run_loopback_sync
 
     loop_name = _install_event_loop(args.no_uvloop)
+    _configure_logging(args.log_level)
     config = LoopbackConfig(
         peers=args.peers, k=args.k, d=args.d,
         generation_size=args.g, payload_size=args.payload,
         generations=args.generations, seed=args.seed,
         insert_mode=args.insert_mode, deadline=args.deadline,
         kill_peer=args.kill if args.kill >= 0 else None,
+        metrics_port=args.metrics_port,
     )
     print(f"event loop: {loop_name}")
     print(f"loopback demo: {config.peers} peers  k={config.k} d={config.d}  "
@@ -150,6 +183,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
           + (f"  killing peer #{args.kill} mid-run" if args.kill >= 0 else ""))
     result = run_loopback_sync(config)
     report = result.report
+    if result.metrics_port is not None:
+        print(f"metrics served on http://127.0.0.1:{result.metrics_port}/metrics "
+              "during the run")
+    _write_stats_json(args.stats_json, result.snapshot)
     print(f"converged: {result.converged}  "
           f"wall clock: {result.wall_clock:.2f}s  rounds: {report.slots}")
     print(f"completion: {report.completion_fraction:.1%}  "
@@ -207,8 +244,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run a standalone coordination + source server."""
     from .coding.generation import GenerationParams
     from .net import ServerNode
+    from .obs.http import MetricsServer
 
     loop_name = _install_event_loop(args.no_uvloop)
+    _configure_logging(args.log_level)
     params = GenerationParams(args.g, args.payload)
     rng = np.random.default_rng(args.seed)
     content = rng.integers(
@@ -225,6 +264,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await server.start()
         print(f"serving on {server.host}:{server.port}  k={args.k} d={args.d}  "
               f"{args.generations} generations of g={args.g}x{args.payload}B")
+        metrics = None
+        if args.metrics_port is not None:
+            metrics = await MetricsServer(
+                server.snapshot, port=args.metrics_port
+            ).start()
+            print(f"metrics on http://127.0.0.1:{metrics.port}/metrics "
+                  f"(JSON at /metrics.json)", flush=True)
         try:
             if args.duration > 0:
                 await asyncio.sleep(args.duration)
@@ -233,10 +279,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except (KeyboardInterrupt, asyncio.CancelledError):
             pass
         finally:
+            snapshot = server.snapshot()
+            if metrics is not None:
+                await metrics.stop()
             await server.stop()
         print(f"served {server.stats.packets_sent} packets over "
               f"{server.stats.rounds} rounds; joins={server.stats.joins} "
               f"leaves={server.stats.leaves} repairs={server.stats.repairs}")
+        _write_stats_json(args.stats_json, snapshot)
         return 0
 
     try:
@@ -248,8 +298,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_join(args: argparse.Namespace) -> int:
     """Join a running server as one live peer; exit when decoded."""
     from .net import PeerNode
+    from .obs.http import MetricsServer
 
     loop_name = _install_event_loop(args.no_uvloop)
+    _configure_logging(args.log_level)
 
     async def _run() -> int:
         print(f"event loop: {loop_name}")
@@ -259,6 +311,13 @@ def _cmd_join(args: argparse.Namespace) -> int:
         await peer.start()
         print(f"joined as node {peer.node_id}: "
               f"threads {sorted(peer.parents)}  listening on {peer.port}")
+        metrics = None
+        if args.metrics_port is not None:
+            metrics = await MetricsServer(
+                peer.snapshot, port=args.metrics_port
+            ).start()
+            print(f"metrics on http://127.0.0.1:{metrics.port}/metrics "
+                  f"(JSON at /metrics.json)", flush=True)
         try:
             await asyncio.wait_for(done.wait(), timeout=args.deadline)
         except asyncio.TimeoutError:
@@ -273,7 +332,11 @@ def _cmd_join(args: argparse.Namespace) -> int:
         if args.linger > 0:
             # Keep forwarding to children after our own decode (a seed).
             await asyncio.sleep(args.linger)
+        snapshot = peer.snapshot()
+        if metrics is not None:
+            await metrics.stop()
         await peer.leave()
+        _write_stats_json(args.stats_json, snapshot)
         return 0 if ok else 1
 
     try:
@@ -332,6 +395,43 @@ def _cmd_trajectory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Render an obs snapshot (file or live endpoint) as tables."""
+    from .metrics.report import render_table
+    from .obs import validate_snapshot
+
+    if args.source.startswith(("http://", "https://")):
+        from urllib.request import urlopen
+
+        with urlopen(args.source) as response:
+            obj = json.load(response)
+    else:
+        obj = json.loads(Path(args.source).read_text())
+    problems = validate_snapshot(obj)
+    if problems:
+        print(f"invalid snapshot {args.source!r}:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    for name in sorted(obj["registries"]):
+        sections = obj["registries"][name]
+        rows = []
+        for metric, value in sorted(sections["counters"].items()):
+            rows.append(("counter", metric, value))
+        for metric, value in sorted(sections["gauges"].items()):
+            rows.append(("gauge", metric, value))
+        for metric, hist in sorted(sections["histograms"].items()):
+            count = hist["count"]
+            mean = hist["sum"] / count if count else 0.0
+            rows.append(
+                ("histogram", metric, f"n={count} mean={mean:.3g}")
+            )
+        print(render_table(("kind", "metric", "value"), rows,
+                           title=f"registry: {name}"))
+        print()
+    return 0
+
+
 def _cmd_collapse(args: argparse.Namespace) -> int:
     from .theory import collapse_exponent, mean_walk_collapse_time
 
@@ -344,6 +444,20 @@ def _cmd_collapse(args: argparse.Namespace) -> int:
     print(f"mean collapse steps over {args.runs} walks: {mean:.0f} "
           f"({censored} censored at {args.max_steps})")
     return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the live-transport commands."""
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        dest="metrics_port", metavar="PORT",
+                        help="serve Prometheus/JSON metrics over HTTP "
+                             "(0 = ephemeral port)")
+    parser.add_argument("--stats-json", default=None, dest="stats_json",
+                        metavar="PATH",
+                        help="write the final obs snapshot to this file")
+    parser.add_argument("--log-level", default=None, dest="log_level",
+                        choices=["debug", "info", "warning"],
+                        help="emit repro.net.* logs to stderr at this level")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -394,6 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="hard wall-clock limit in seconds")
     demo.add_argument("--no-uvloop", action="store_true", dest="no_uvloop",
                       help="stay on the stock asyncio event loop")
+    _add_obs_flags(demo)
     demo.set_defaults(func=_cmd_demo)
 
     chaos = sub.add_parser(
@@ -427,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop after this many seconds (0 = run forever)")
     serve.add_argument("--no-uvloop", action="store_true", dest="no_uvloop",
                        help="stay on the stock asyncio event loop")
+    _add_obs_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
     join = sub.add_parser("join", help="join a live server as one peer")
@@ -439,7 +555,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="keep forwarding this long after decoding")
     join.add_argument("--no-uvloop", action="store_true", dest="no_uvloop",
                       help="stay on the stock asyncio event loop")
+    _add_obs_flags(join)
     join.set_defaults(func=_cmd_join)
+
+    stats = sub.add_parser(
+        "stats", help="render an obs snapshot (JSON file or live endpoint)"
+    )
+    stats.add_argument("source",
+                       help="path to a --stats-json file, or an http:// "
+                            "metrics.json URL")
+    stats.set_defaults(func=_cmd_stats)
 
     overlay = sub.add_parser("overlay", help="build an overlay and report health")
     overlay.add_argument("--k", type=int, default=24)
@@ -480,7 +605,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was a pipe whose reader exited early (`repro stats ... |
+        # head`); behave like a Unix filter and leave quietly.  Python
+        # flushes stdout again at interpreter exit, so point the fd at
+        # devnull first or the flush re-raises.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

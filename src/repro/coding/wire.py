@@ -70,6 +70,12 @@ class WireFormatError(ValueError):
     """Raised when a frame cannot be parsed."""
 
 
+class CrcError(WireFormatError):
+    """A well-formed frame whose CRC32 trailer did not match — the
+    payload was corrupted in transit (receivers count these
+    separately from structural framing violations)."""
+
+
 def _frame_length(version: int, g: int, n: int) -> int:
     length = _HEADER.size + g + n
     if version >= VERSION:
@@ -333,7 +339,7 @@ def _decode_at(buffer, offset: int, version: int, generation: int,
         (crc,) = _TRAILER.unpack_from(buffer, body_end)
         actual = zlib.crc32(memoryview(buffer)[offset:body_end])
         if actual != crc:
-            raise WireFormatError(
+            raise CrcError(
                 f"CRC mismatch: trailer 0x{crc:08x}, body 0x{actual:08x}"
             )
     coefficients = np.frombuffer(buffer, dtype=np.uint8,

@@ -1,5 +1,6 @@
 """Metrics: series recording and table rendering for the bench harness."""
 
+from . import stats
 from .export import save_table, to_csv, to_json
 from .recorder import Recorder, Series
 from .report import format_cell, print_table, render_table, sparkline
@@ -7,6 +8,7 @@ from .report import format_cell, print_table, render_table, sparkline
 __all__ = [
     "Recorder",
     "Series",
+    "stats",
     "format_cell",
     "print_table",
     "render_table",

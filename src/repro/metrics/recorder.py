@@ -2,7 +2,8 @@
 
 A tiny, dependency-free recorder: named series of (time, value) points
 with summary statistics.  Benches use it to accumulate sweeps before
-rendering tables.
+rendering tables.  The statistics themselves live in
+:mod:`repro.metrics.stats`, shared with the simulators' run reports.
 """
 
 from __future__ import annotations
@@ -10,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
+from . import stats
 
 
 @dataclass
@@ -29,19 +30,27 @@ class Series:
         return len(self.values)
 
     def mean(self) -> float:
-        return float(np.mean(self.values)) if self.values else 0.0
+        return stats.mean(self.values)
 
     def std(self) -> float:
-        return float(np.std(self.values, ddof=1)) if len(self.values) > 1 else 0.0
+        return stats.std(self.values)
 
     def max(self) -> float:
-        return float(np.max(self.values)) if self.values else 0.0
+        return stats.maximum(self.values)
 
     def min(self) -> float:
-        return float(np.min(self.values)) if self.values else 0.0
+        return stats.minimum(self.values)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the values (0.0 when empty)."""
+        return stats.percentile(self.values, q)
 
     def last(self) -> Optional[float]:
         return self.values[-1] if self.values else None
+
+    def summary(self) -> dict[str, float]:
+        """{mean, std, min, max, n} for this series."""
+        return stats.summary(self.values)
 
 
 class Recorder:
@@ -67,13 +76,4 @@ class Recorder:
 
     def summary(self) -> dict[str, dict[str, float]]:
         """Per-series {mean, std, min, max, n} snapshot."""
-        return {
-            name: {
-                "mean": s.mean(),
-                "std": s.std(),
-                "min": s.min(),
-                "max": s.max(),
-                "n": float(len(s)),
-            }
-            for name, s in self._series.items()
-        }
+        return {name: s.summary() for name, s in self._series.items()}

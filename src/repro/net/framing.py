@@ -30,6 +30,7 @@ import numpy as np
 from ..coding.buffers import DEFAULT_POOL, BufferPool
 from ..coding.packet import CodedPacket
 from ..coding.wire import (
+    CrcError,
     WireFormatError,
     _uniform_geometry,
     decode_packet,
@@ -43,6 +44,7 @@ from .control import ControlFormatError, decode_control, encode_control
 from .transport import ByteStreamReader, ByteStreamWriter
 
 __all__ = [
+    "CrcMismatchError",
     "FrameBuffer",
     "FramingError",
     "KIND_CONTROL",
@@ -74,6 +76,17 @@ Message = Union[CodedPacket, object]
 
 class FramingError(ConnectionError):
     """Raised when a stream violates the framing contract."""
+
+
+class CrcMismatchError(FramingError):
+    """A data frame failed its CRC32 check: the connection still dies
+    (the stream can no longer be trusted), but receivers count these
+    corruption events separately from structural framing errors."""
+
+
+def _body_error(exc: Exception) -> FramingError:
+    cls = CrcMismatchError if isinstance(exc, CrcError) else FramingError
+    return cls(f"bad frame body: {exc}")
 
 
 def encode_frame(kind: int, body: bytes) -> bytes:
@@ -220,7 +233,7 @@ def _parse_body(kind: int, body: bytes) -> Message:
         if kind == KIND_CONTROL:
             return decode_control(body)
     except (WireFormatError, ControlFormatError) as exc:
-        raise FramingError(f"bad frame body: {exc}") from exc
+        raise _body_error(exc) from exc
     raise FramingError(f"unknown frame kind {kind}")
 
 
@@ -281,7 +294,7 @@ class FrameBuffer:
             try:
                 packet, end = decode_packet_from(buf, body_start)
             except WireFormatError as exc:
-                raise FramingError(f"bad frame body: {exc}") from exc
+                raise _body_error(exc) from exc
             if end != cursor + total:
                 raise FramingError(
                     f"bad frame body: framed {length} bytes, wire frame "

@@ -23,6 +23,8 @@ from typing import Optional
 import numpy as np
 
 from ..coding.generation import GenerationParams
+from ..obs import snapshot_obj
+from ..obs.http import MetricsServer
 from ..sim.links import LinkStats
 from ..sim.report import NodeReport, RunReport, TransportReport
 from .peer import PeerNode
@@ -56,6 +58,9 @@ class LoopbackConfig:
     kill_peer: Optional[int] = None
     #: Fraction of mean decode progress at which the kill fires.
     kill_at_progress: float = 0.25
+    #: Serve live snapshots over HTTP during the run (None = off;
+    #: 0 = ephemeral port, reported via ``LoopbackResult.metrics_port``).
+    metrics_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.peers < 1:
@@ -84,6 +89,10 @@ class LoopbackResult:
     drops: int
     killed: Optional[int] = None
     peer_stats: list = field(default_factory=list)
+    #: Final merged obs snapshot of every node (``repro.obs`` schema).
+    snapshot: Optional[dict] = None
+    #: Port the metrics endpoint actually bound (None = not enabled).
+    metrics_port: Optional[int] = None
 
 
 async def run_loopback(config: LoopbackConfig) -> LoopbackResult:
@@ -141,6 +150,17 @@ async def run_loopback(config: LoopbackConfig) -> LoopbackResult:
                 return
             await asyncio.sleep(config.send_interval)
 
+    def merged_snapshot() -> dict:
+        registries = {server.registry.name: server.registry}
+        registries.update({p.registry.name: p.registry for p in peers})
+        return snapshot_obj(registries)
+
+    metrics: Optional[MetricsServer] = None
+    if config.metrics_port is not None:
+        metrics = await MetricsServer(
+            merged_snapshot, port=config.metrics_port
+        ).start()
+
     watcher: Optional[asyncio.Task] = None
     try:
         for i in range(config.peers):
@@ -166,6 +186,10 @@ async def run_loopback(config: LoopbackConfig) -> LoopbackResult:
     finally:
         if watcher is not None:
             watcher.cancel()
+        # Snapshot before teardown so callback gauges read live state.
+        final_snapshot = merged_snapshot()
+        if metrics is not None:
+            await metrics.stop()
         # Server first: the run is over, so peer disconnections below
         # must not register as crashes needing repair.
         await server.stop()
@@ -226,6 +250,8 @@ async def run_loopback(config: LoopbackConfig) -> LoopbackResult:
         drops=drops,
         killed=killed,
         peer_stats=[p.stats for p in peers],
+        snapshot=final_snapshot,
+        metrics_port=metrics.port if metrics is not None else None,
     )
 
 

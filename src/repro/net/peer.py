@@ -29,6 +29,7 @@ Robustness model, mirroring §3/§5 on a real event loop:
 from __future__ import annotations
 
 import asyncio
+import logging
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -38,6 +39,14 @@ from ..coding.generation import GenerationParams
 from ..coding.packet import CodedPacket
 from ..coding.recoder import Recoder
 from ..core.matrix import SERVER
+from ..obs import (
+    FlightRecorder,
+    PeerEngineInstruments,
+    Registry,
+    bind_fields,
+    bind_sender_totals,
+    snapshot_obj,
+)
 from ..protocol import (
     Backoff,
     Clip,
@@ -57,6 +66,7 @@ from ..protocol import (
 )
 from .control import DataHello, PeerLocator, SessionInfo
 from .framing import (
+    CrcMismatchError,
     FramingError,
     encode_mixture_frames,
     read_message,
@@ -79,6 +89,7 @@ class PeerStats:
     reconnects: int = 0
     complaints: int = 0
     keepalives_seen: int = 0
+    crc_failures: int = 0
 
 
 class PeerNode:
@@ -156,6 +167,34 @@ class PeerNode:
         self._control_writer: Optional[ByteStreamWriter] = None
         self._control_task: Optional[asyncio.Task] = None
         self._running = False
+        self.log = logging.getLogger("repro.net.peer")
+        #: Per-node telemetry; renamed to ``peer:<node_id>`` once the
+        #: grant assigns us an id.  Everything is snapshot-on-read.
+        self.registry = Registry("peer")
+        PeerEngineInstruments(self.registry).attach(self.engine, self.registry)
+        self.engine.flight = FlightRecorder()
+        bind_fields(
+            self.registry, self.stats,
+            ("received", "innovative", "forwarded", "reconnects",
+             "complaints", "keepalives_seen", "crc_failures"),
+            "net", "live PeerStats counter",
+        )
+        bind_sender_totals(self.registry, lambda: self.sender_stats)
+        self.registry.gauge(
+            "net.rank", "degrees of freedom collected", fn=lambda: self.rank,
+        )
+        self.registry.gauge(
+            "net.needed", "degrees of freedom for a full decode",
+            fn=lambda: self.needed,
+        )
+        self.registry.gauge(
+            "net.children", "attached child pumps",
+            fn=lambda: len(self._children),
+        )
+
+    def snapshot(self) -> dict:
+        """This node's registries as a versioned snapshot object."""
+        return snapshot_obj(self.registry)
 
     @property
     def node_id(self) -> Optional[int]:
@@ -189,6 +228,12 @@ class PeerNode:
         await send_control(writer, JoinRequest(reply_to=self.port))
         grant = await self._await_grant(reader)
         self.engine.node_id = grant.node_id
+        self.log = logging.getLogger(f"repro.net.peer.{grant.node_id}")
+        self.registry.name = f"peer:{grant.node_id}"
+        self.log.info(
+            "joined as node %d with threads %s",
+            grant.node_id, [column for column, _ in grant.assignments],
+        )
         self.recoder = Recoder(
             GenerationParams(self.session.generation_size,
                              self.session.payload_size),
@@ -299,6 +344,7 @@ class PeerNode:
         # The server is gone.  Keep the data plane alive (§6): existing
         # upstream connections and children continue, but there is no
         # more membership repair.
+        self.log.info("server lost; data plane continues without repair")
         self.engine.handle(ServerLost())
 
     def _dispatch_control(self, message: object) -> None:
@@ -329,6 +375,10 @@ class PeerNode:
             return
         if isinstance(message, ComplaintMsg):
             self.stats.complaints += 1
+            self.log.info(
+                "complaining about node %d on column %d",
+                message.suspect, message.column,
+            )
         try:
             write_control_nowait(self._control_writer, message)
         except (ConnectionError, OSError):
@@ -344,6 +394,9 @@ class PeerNode:
             old.cancel()
         if not self._running or column not in self.parents:
             return
+        self.log.debug(
+            "column %d: clipping to parent %d", column, self.parents[column],
+        )
         self._thread_tasks[column] = asyncio.ensure_future(
             self._thread_loop(column)
         )
@@ -374,6 +427,10 @@ class PeerNode:
                     delay = effect.delay
             if delay is None:
                 continue  # healthy session: redial immediately
+            self.log.debug(
+                "column %d: redialing parent %d after %.3fs backoff",
+                column, self.parents.get(column, parent), delay,
+            )
             try:
                 await self.clock.sleep(delay)
             except asyncio.CancelledError:
@@ -403,6 +460,12 @@ class PeerNode:
                 elif isinstance(message, KeepAlive):
                     saw_traffic = True
                     self.stats.keepalives_seen += 1
+        except CrcMismatchError:
+            self.stats.crc_failures += 1
+            self.log.info(
+                "column %d: corrupted frame from parent %d (CRC mismatch), "
+                "dropping connection", column, parent,
+            )
         except (asyncio.TimeoutError, ConnectionError, OSError, FramingError):
             pass
         except asyncio.CancelledError:
@@ -433,10 +496,20 @@ class PeerNode:
         sender = PacketSender(
             writer, column=hello.column, sender_id=self.node_id or -1,
             limit=self.queue_limit, keepalive_interval=self.keepalive_interval,
-            clock=self.clock, coalesce=self.batched,
+            clock=self.clock, coalesce=self.batched, logger=self.log,
         )
         self.sender_stats.append(sender.stats)
         self._children[key] = sender
+        # The per-neighbour-queue observable: one gauge per (child,
+        # column), reading whatever pump currently serves that key.
+        self.registry.gauge(
+            f"net.queue_depth.child{hello.node_id}.c{hello.column}",
+            "frames queued toward this child",
+            fn=lambda k=key: (
+                pump.queue_depth
+                if (pump := self._children.get(k)) is not None else 0
+            ),
+        )
         # Seed the child immediately rather than waiting for our next
         # upstream arrival (matters when upstream is already complete).
         packet = self.recoder.emit() if self.recoder is not None else None

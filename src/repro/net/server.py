@@ -28,15 +28,26 @@ probe timeout, exactly as in §3.
 from __future__ import annotations
 
 import asyncio
+import logging
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
+from ..coding.buffers import DEFAULT_POOL
 from ..coding.encoder import SourceEncoder
 from ..coding.generation import GenerationParams
 from ..core.matrix import SERVER
 from ..core.server import CoordinationServer
+from ..obs import (
+    FlightRecorder,
+    Registry,
+    ServerEngineInstruments,
+    bind_fields,
+    bind_pool,
+    bind_sender_totals,
+    snapshot_obj,
+)
 from ..protocol import (
     Admitted,
     CloseConnection,
@@ -158,6 +169,35 @@ class ServerNode:
         self._stream_task: Optional[asyncio.Task] = None
         self._timer_tasks: set[asyncio.Task] = set()
         self._running = False
+        self.log = logging.getLogger("repro.net.server")
+        #: Per-node telemetry: engine counters, folded stats dataclasses,
+        #: per-column queue depths — everything snapshot-on-read, so the
+        #: hot paths keep bumping plain dataclass fields.
+        self.registry = Registry("server")
+        ServerEngineInstruments(self.registry).attach(self.engine, self.registry)
+        self.engine.flight = FlightRecorder()
+        bind_fields(
+            self.registry, self.stats,
+            ("rounds", "packets_sent", "repairs", "probes",
+             "joins", "leaves", "crashes"),
+            "net", "live ServerStats counter",
+        )
+        bind_sender_totals(self.registry, lambda: self.sender_stats)
+        bind_pool(self.registry, DEFAULT_POOL)
+        for column in range(k):
+            self.registry.gauge(
+                f"net.queue_depth.c{column}",
+                "frames queued on this column's outbound pump",
+                fn=lambda c=column: (
+                    sender.queue_depth
+                    if (sender := self._column_senders.get(c)) is not None
+                    else 0
+                ),
+            )
+
+    def snapshot(self) -> dict:
+        """This node's registries as a versioned snapshot object."""
+        return snapshot_obj(self.registry)
 
     @property
     def core(self) -> CoordinationServer:
@@ -173,8 +213,14 @@ class ServerNode:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.address[1]
+        self.log = logging.getLogger(f"repro.net.server.{self.port}")
+        self.registry.name = f"server:{self.port}"
         self._running = True
         self._stream_task = asyncio.ensure_future(self._stream_loop())
+        self.log.info(
+            "listening on %s:%d (k=%d, d=%d)",
+            self.host, self.port, self.core.k, self.core.d,
+        )
 
     async def stop(self) -> None:
         """Close every connection and stop serving."""
@@ -268,7 +314,7 @@ class ServerNode:
         sender = PacketSender(
             writer, column=column, sender_id=SERVER,
             limit=self.queue_limit, keepalive_interval=self.keepalive_interval,
-            clock=self.clock, coalesce=self.batched,
+            clock=self.clock, coalesce=self.batched, logger=self.log,
         )
         self.sender_stats.append(sender.stats)
         self._column_senders[column] = sender
@@ -316,6 +362,11 @@ class ServerNode:
                 )
                 self._peers[effect.node_id] = handle
                 self.stats.joins += 1
+                self.log.info(
+                    "admitted peer %d from %s:%d with %d threads",
+                    effect.node_id, host, request.reply_to,
+                    len(effect.assignments),
+                )
                 # Geometry first, then parent locators, then the grant
                 # (delivered by the Send effect that follows): by the
                 # time the joiner sees its assignments it can dial them.
@@ -342,6 +393,7 @@ class ServerNode:
         if isinstance(effect, Send):
             if isinstance(effect.message, Probe):
                 self.stats.probes += 1
+                self.log.info("probing suspect %d", effect.to)
             self._notify(effect.to, effect.message)
         elif isinstance(effect, StartTimer):
             task = asyncio.ensure_future(self._timer(effect.key, effect.delay))
@@ -352,6 +404,9 @@ class ServerNode:
             if handle is not None:
                 handle.writer.close()
         elif isinstance(effect, PeerDeparted):
+            self.log.info(
+                "peer %d departed (%s)", effect.node_id, effect.reason
+            )
             if effect.reason == "leave":
                 self.stats.leaves += 1
             else:

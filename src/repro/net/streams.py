@@ -29,6 +29,7 @@ failure detection, run over real sockets).
 from __future__ import annotations
 
 import asyncio
+import logging
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
@@ -75,6 +76,8 @@ class PacketSender:
             when the writer supports it.  Off, every frame is written
             individually — the pre-batching behaviour, kept for A/B
             throughput measurement.
+        logger: Destination for backpressure decisions (evictions are
+            logged at DEBUG); None keeps the pump silent.
     """
 
     def __init__(
@@ -87,6 +90,7 @@ class PacketSender:
         keepalive_interval: Optional[float] = None,
         clock: Optional[Clock] = None,
         coalesce: bool = True,
+        logger: Optional[logging.Logger] = None,
     ) -> None:
         if limit < 1:
             raise ValueError("queue limit must be >= 1")
@@ -98,6 +102,13 @@ class PacketSender:
         self._limit = limit
         self._keepalive_interval = keepalive_interval
         self._clock = clock if clock is not None else AsyncioClock()
+        self._logger = logger
+        # Cached once: the eviction path runs per enqueued frame, and
+        # even a disabled logger.debug() call costs more than the
+        # enqueue itself.  --log-level debug is set before pumps exist.
+        self._log_drops = (
+            logger is not None and logger.isEnabledFor(logging.DEBUG)
+        )
         self._queue: Deque[bytes] = deque()
         self._wakeup = asyncio.Event()
         self._closed = False
@@ -105,6 +116,12 @@ class PacketSender:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames queued and not yet flushed (the per-neighbour-queue
+        observable; exporters bind gauges to this)."""
+        return len(self._queue)
 
     def enqueue(self, packet: CodedPacket) -> bool:
         """Serialise and queue a packet; evict the oldest when full.
@@ -130,6 +147,12 @@ class PacketSender:
             self._queue.popleft()
             self.stats.dropped += 1
             clean = False
+            if self._log_drops:
+                self._logger.debug(
+                    "column %d: queue full (%d), dropped oldest frame "
+                    "(%d dropped total)",
+                    self.column, self._limit, self.stats.dropped,
+                )
         self._queue.append(frame)
         self._wakeup.set()
         return clean

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import re
 from dataclasses import dataclass, field, replace
 from typing import Awaitable, Callable, Optional
 
@@ -32,6 +33,7 @@ import numpy as np
 
 from ...coding.generation import GenerationParams
 from ...core.matrix import SERVER
+from ...obs import format_dump
 from ...protocol import ReconnectBackoff
 from ..peer import PeerNode
 from ..server import ServerNode
@@ -98,6 +100,9 @@ class ScenarioResult:
     killed: tuple[int, ...] = ()
     #: The VirtualNetwork event trace (empty on the live transport).
     trace: tuple = ()
+    #: Flight-recorder dump of the implicated engines, captured the
+    #: moment an invariant check failed ("" when everything held).
+    flight_dump: str = ""
 
     @property
     def ok(self) -> bool:
@@ -112,6 +117,8 @@ class ScenarioResult:
         )
         for violation in self.violations:
             line += f"\n  violation: {violation}"
+        if self.violations and self.flight_dump:
+            line += "\n" + self.flight_dump
         return line
 
 
@@ -147,6 +154,7 @@ class ChaosHarness:
         self.killed: set[int] = set()
         self.left: set[int] = set()
         self.violations: list[str] = []
+        self.flight_dump = ""
         self.content = b""
         self._t0 = 0.0
         #: Granularity of the driving loop (one server emission round).
@@ -371,8 +379,12 @@ class ChaosHarness:
 
         Read straight off the engines: the server engine's core is the
         matrix authority and each peer engine's thread map is the
-        ground truth its driver clips from.
+        ground truth its driver clips from.  A violation captures a
+        flight-recorder dump of the implicated engines — the last N
+        events and effects each one saw — so a failing seed yields an
+        actionable trace, not a bare assertion message.
         """
+        before = len(self.violations)
         core = self.server.engine.core
         for index, peer in self.alive():
             if peer.node_id is None or not core.is_working(peer.node_id):
@@ -410,6 +422,29 @@ class ChaosHarness:
                     peer.recovered_content() == self.content,
                     f"peer{index} decoded the wrong bytes",
                 )
+        if len(self.violations) > before:
+            self._record_flight_dump(self.violations[before:])
+
+    def _record_flight_dump(self, new_violations: list[str]) -> None:
+        """Dump the flight recorders of every engine a violation names
+        (plus the server's — the matrix authority is always relevant)."""
+        sections = []
+        if self.server is not None and self.server.engine.flight is not None:
+            sections.append(format_dump(self.server.engine.flight, "server"))
+        implicated = sorted({
+            int(match)
+            for violation in new_violations
+            for match in re.findall(r"peer(\d+)", violation)
+        })
+        if not implicated:
+            implicated = [index for index, _ in self.alive()]
+        for index in implicated:
+            peer = self.peers[index]
+            if peer.engine.flight is not None:
+                sections.append(format_dump(
+                    peer.engine.flight, f"peer{index} (node {peer.node_id})",
+                ))
+        self.flight_dump = "\n".join(sections)
 
     def result(self, name: str) -> ScenarioResult:
         stats = self.server.stats if self.server is not None else None
@@ -432,6 +467,7 @@ class ChaosHarness:
             ) + sum(s.dropped for s in self.server.sender_stats),
             killed=tuple(sorted(self.killed)),
             trace=tuple(self.net.trace) if self.net is not None else (),
+            flight_dump=self.flight_dump,
         )
 
 

@@ -1,0 +1,241 @@
+"""Instrument bundles: pre-bound counters/gauges for each layer.
+
+The engines stay observability-agnostic: they expose an ``obs``
+attribute (``None`` by default) and call ``obs.record_step(event,
+effects)`` after each dispatch.  The classification — which effect
+means a join, a repair, a probe — lives *here*, next to the protocol
+vocabulary it reads, so ``repro.protocol`` never imports ``repro.obs``
+and the layering contract holds in both directions (this module may
+import the protocol vocabulary because the protocol core is itself
+sans-IO).
+
+Everything else in this module is snapshot-on-read binding: stats
+dataclasses the transports already keep (``SenderStats``, ``PoolStats``,
+per-node ``ServerStats``/``PeerStats``) become callback gauges that
+read the live object only when an exporter scrapes.  The hot paths
+keep bumping their plain dataclass fields; observability costs nothing
+until somebody looks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..protocol.effects import (
+    Admitted,
+    Backoff,
+    Clip,
+    ComplaintNoted,
+    PeerDeparted,
+    Send,
+)
+from ..protocol.events import MessageReceived
+from ..protocol.messages import (
+    ComplaintMsg,
+    CongestionDrop,
+    CongestionRestore,
+    KeepAlive,
+    Probe,
+    ProbeAck,
+)
+from .registry import Registry
+
+__all__ = [
+    "PeerEngineInstruments",
+    "ServerEngineInstruments",
+    "bind_fields",
+    "bind_pool",
+    "bind_sender_totals",
+]
+
+
+def bind_fields(
+    registry: Registry,
+    obj: object,
+    fields: Iterable[str],
+    prefix: str,
+    help: str = "",
+) -> None:
+    """Expose ``obj.<field>`` for each field as a callback gauge.
+
+    The one-liner that folds any stats dataclass into a registry:
+    the object keeps being mutated by its owner; the gauge reads it
+    at snapshot time.
+    """
+    for field in fields:
+        registry.gauge(
+            f"{prefix}.{field}", help,
+            fn=lambda o=obj, f=field: getattr(o, f),
+        )
+
+
+def bind_pool(
+    registry: Registry, pool, prefix: str = "coding.pool",
+) -> None:
+    """Fold a :class:`repro.coding.buffers.BufferPool` into gauges."""
+    bind_fields(
+        registry, pool.stats,
+        ("leases", "allocations", "reuses", "releases", "discarded"),
+        prefix, "buffer pool accounting",
+    )
+    registry.gauge(
+        f"{prefix}.idle", "buffers parked in the pool", fn=pool.idle_buffers,
+    )
+
+
+def bind_sender_totals(
+    registry: Registry,
+    senders: Callable[[], Sequence],
+    prefix: str = "net.sender",
+) -> None:
+    """Aggregate live ``SenderStats`` across a dynamic pump set.
+
+    ``senders`` is a callable returning the *current* stats objects
+    (pumps come and go with reconnects); each total is summed at
+    snapshot time.
+    """
+    for field in (
+        "enqueued", "dropped", "sent", "keepalives", "bytes_sent", "flushes",
+    ):
+        registry.gauge(
+            f"{prefix}.{field}", "summed across live outbound pumps",
+            fn=lambda f=field: sum(getattr(s, f) for s in senders()),
+        )
+
+
+class ServerEngineInstruments:
+    """Protocol-level counters for one :class:`ServerEngine`.
+
+    ``attach`` hangs the bundle on the engine (``engine.obs = self``)
+    and binds state-size gauges to the engine's own dicts/sets; the
+    engine then calls :meth:`record_step` once per handled event.
+    """
+
+    __slots__ = (
+        "events", "effects", "joins", "leaves", "crashes",
+        "probes_sent", "episodes_opened",
+        "congestion_drops", "congestion_restores",
+    )
+
+    def __init__(self, registry: Registry) -> None:
+        counter = registry.counter
+        self.events = counter("engine.events", "events handled")
+        self.effects = counter("engine.effects", "effects emitted")
+        self.joins = counter("engine.joins", "peers admitted")
+        self.leaves = counter("engine.leaves", "graceful good-byes")
+        self.crashes = counter("engine.crashes", "crash splices (repairs)")
+        self.probes_sent = counter("engine.probes_sent", "probes dispatched")
+        self.episodes_opened = counter(
+            "engine.episodes_opened", "failure episodes opened by a complaint",
+        )
+        self.congestion_drops = counter(
+            "engine.congestion_drops", "§5 threads shed from congested nodes",
+        )
+        self.congestion_restores = counter(
+            "engine.congestion_restores", "§5 threads handed back",
+        )
+
+    def attach(self, engine, registry: Registry) -> "ServerEngineInstruments":
+        engine.obs = self
+        registry.gauge(
+            "engine.open_episodes", "complained, not yet repaired",
+            fn=lambda: len(engine._open_episodes),
+        )
+        registry.gauge(
+            "engine.pending_probes", "probes awaiting ack or timeout",
+            fn=lambda: len(engine.pending_probes),
+        )
+        registry.gauge(
+            "engine.departed", "peers ever spliced or left",
+            fn=lambda: len(engine.departed),
+        )
+        registry.gauge(
+            "engine.population", "peers currently registered",
+            fn=lambda: len(engine.core.registry) - len(engine.departed),
+        )
+        return self
+
+    def record_step(self, event, effects) -> None:
+        self.events.inc()
+        self.effects.inc(len(effects))
+        if effects and isinstance(event, MessageReceived):
+            message = event.message
+            if isinstance(message, CongestionDrop):
+                self.congestion_drops.inc()
+            elif isinstance(message, CongestionRestore):
+                self.congestion_restores.inc()
+        for effect in effects:
+            if isinstance(effect, Admitted):
+                self.joins.inc()
+            elif isinstance(effect, PeerDeparted):
+                if effect.reason == "leave":
+                    self.leaves.inc()
+                else:
+                    self.crashes.inc()
+            elif isinstance(effect, ComplaintNoted):
+                self.episodes_opened.inc()
+            elif isinstance(effect, Send) and isinstance(effect.message, Probe):
+                self.probes_sent.inc()
+
+
+class PeerEngineInstruments:
+    """Protocol-level counters for one :class:`PeerEngine`.
+
+    ``complaints_suppressed`` is special: the engine bumps it directly
+    from the one-complaint-per-episode rule (the suppression leaves no
+    effect to classify), every other counter derives from the
+    event/effect stream in :meth:`record_step`.
+    """
+
+    __slots__ = (
+        "events", "effects", "clips", "backoffs",
+        "complaints_sent", "complaints_suppressed",
+        "keepalives_sent", "probe_acks",
+    )
+
+    def __init__(self, registry: Registry) -> None:
+        counter = registry.counter
+        self.events = counter("engine.events", "events handled")
+        self.effects = counter("engine.effects", "effects emitted")
+        self.clips = counter("engine.clips", "upstream (re)clips")
+        self.backoffs = counter("engine.backoffs", "reconnect backoff steps")
+        self.complaints_sent = counter(
+            "engine.complaints_sent", "complaints dispatched to the server",
+        )
+        self.complaints_suppressed = counter(
+            "engine.complaints_suppressed",
+            "complaints withheld by the one-per-episode rule",
+        )
+        self.keepalives_sent = counter(
+            "engine.keepalives_sent", "keep-alives emitted to children",
+        )
+        self.probe_acks = counter("engine.probe_acks", "probes answered")
+
+    def attach(self, engine, registry: Registry) -> "PeerEngineInstruments":
+        engine.obs = self
+        registry.gauge(
+            "engine.threads", "columns with a live parent",
+            fn=lambda: len(engine.parents),
+        )
+        registry.gauge(
+            "engine.children", "columns with a downstream child",
+            fn=lambda: len(engine.children),
+        )
+        return self
+
+    def record_step(self, event, effects) -> None:
+        self.events.inc()
+        self.effects.inc(len(effects))
+        for effect in effects:
+            if isinstance(effect, Clip):
+                self.clips.inc()
+            elif isinstance(effect, Backoff):
+                self.backoffs.inc()
+            elif isinstance(effect, Send):
+                message = effect.message
+                if isinstance(message, ComplaintMsg):
+                    self.complaints_sent.inc()
+                elif isinstance(message, KeepAlive):
+                    self.keepalives_sent.inc()
+                elif isinstance(message, ProbeAck):
+                    self.probe_acks.inc()

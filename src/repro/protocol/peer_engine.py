@@ -97,6 +97,14 @@ class PeerEngine:
         self._backoffs: dict[int, ReconnectBackoff] = {}
         #: optional event/effect recorder (conformance and replay tests)
         self.log: Optional[EngineLog] = None
+        #: optional bounded ring of recent steps (duck-typed: anything
+        #: with ``record(event, effects)``, e.g. ``obs.FlightRecorder``)
+        self.flight = None
+        #: optional instrument bundle (duck-typed: anything with
+        #: ``record_step(event, effects)`` and a ``complaints_suppressed``
+        #: counter, e.g. ``obs.PeerEngineInstruments``) — the engine
+        #: never imports ``repro.obs``
+        self.obs = None
 
     # ------------------------------------------------------------------
 
@@ -105,6 +113,10 @@ class PeerEngine:
         effects = self._dispatch(event)
         if self.log is not None:
             self.log.record(event, effects)
+        if self.flight is not None:
+            self.flight.record(event, effects)
+        if self.obs is not None:
+            self.obs.record_step(event, effects)
         return effects
 
     def _dispatch(self, event: Event) -> list[Effect]:
@@ -206,8 +218,11 @@ class PeerEngine:
         """One complaint per column per silence episode, re-armed by
         ``SetParent``; never after the server is lost, never against
         the server itself."""
-        if (self.server_lost or column in self.complained
-                or suspect == SERVER):
+        if self.server_lost or suspect == SERVER:
+            return []
+        if column in self.complained:
+            if self.obs is not None:
+                self.obs.complaints_suppressed.inc()
             return []
         self.complained.add(column)
         return [Send(SERVER, ComplaintMsg(

@@ -86,6 +86,14 @@ class ServerEngine:
         self._nonce = 0
         #: optional event/effect recorder (conformance and replay tests)
         self.log: Optional[EngineLog] = None
+        #: optional bounded ring of recent steps (duck-typed: anything
+        #: with ``record(event, effects)``, e.g. ``obs.FlightRecorder``)
+        self.flight = None
+        #: optional instrument bundle (duck-typed: anything with
+        #: ``record_step(event, effects)``, e.g.
+        #: ``obs.ServerEngineInstruments``) — the engine never imports
+        #: ``repro.obs``; observability hangs off these two attributes
+        self.obs = None
 
     # ------------------------------------------------------------------
 
@@ -94,6 +102,10 @@ class ServerEngine:
         effects = self._dispatch(event)
         if self.log is not None:
             self.log.record(event, effects)
+        if self.flight is not None:
+            self.flight.record(event, effects)
+        if self.obs is not None:
+            self.obs.record_step(event, effects)
         return effects
 
     def _dispatch(self, event: Event) -> list[Effect]:

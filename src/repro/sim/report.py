@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..metrics import stats
 from .links import LinkStats
 
 __all__ = [
@@ -37,16 +38,12 @@ __all__ = [
 
 def mean_completion_slot(completion_slots: Sequence[int]) -> float:
     """Mean slot at which finishing nodes completed (0.0 if none did)."""
-    if not completion_slots:
-        return 0.0
-    return float(np.mean(completion_slots))
+    return stats.mean(completion_slots)
 
 
 def completion_percentile(completion_slots: Sequence[int], q: float) -> float:
     """The ``q``-th percentile completion slot (0.0 if none finished)."""
-    if not completion_slots:
-        return 0.0
-    return float(np.percentile(np.asarray(completion_slots), q))
+    return stats.percentile(completion_slots, q)
 
 
 @dataclass
@@ -173,15 +170,17 @@ class FloodingReport:
 
     @classmethod
     def from_run(cls, run: RunReport) -> "FloodingReport":
-        unique_fractions = [n.rank / n.needed for n in run.nodes]
+        # A node that needs nothing is trivially complete: fraction 1.0,
+        # not a ZeroDivisionError.
+        unique_fractions = [
+            n.rank / n.needed if n.needed else 1.0 for n in run.nodes
+        ]
         duplicates = sum(max(0, n.received - n.innovative) for n in run.nodes)
         received = sum(n.received for n in run.nodes)
         return cls(
             slots=run.slots,
             completion_fraction=run.completion_fraction,
-            mean_unique_fraction=(
-                float(np.mean(unique_fractions)) if unique_fractions else 0.0
-            ),
+            mean_unique_fraction=stats.mean(unique_fractions),
             duplicate_fraction=duplicates / received if received else 0.0,
             completion_slots=run.completion_slots(),
         )

@@ -38,6 +38,7 @@ seeded runs are golden-tested to be identical to the pre-refactor loops
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Iterable, Optional, Protocol, Sequence, runtime_checkable
 
 from ..core.matrix import SERVER
@@ -269,6 +270,60 @@ class SlottedRuntime:
         self._measured = measured
         self._slot_hooks: list[Callable[["SlottedRuntime"], None]] = []
         self._loss_rng = self.streams.get("loss")
+        #: Instrumentation is opt-in (:meth:`attach_obs`); unattached,
+        #: the slot loop pays one attribute check per step.
+        self._obs_slot_seconds = None
+        self._obs_slots = None
+        self._obs_attempted = None
+        self._obs_delivered = None
+
+    def attach_obs(self, registry) -> None:
+        """Expose slot-loop timing and delivery/innovation rates.
+
+        ``registry`` is a :class:`repro.obs.Registry` (duck-typed — the
+        simulator never imports ``repro.obs``).  Timing costs two
+        ``perf_counter`` calls per slot, counters one attribute bump
+        each; the rate gauges are callbacks evaluated only at snapshot
+        time.  Nothing here touches an RNG stream, so seeded runs are
+        byte-identical with or without instrumentation.
+        """
+        self._obs_slot_seconds = registry.histogram(
+            "sim.slot_seconds", "wall-clock time of one slot step",
+        )
+        self._obs_slots = registry.counter("sim.slots", "slots stepped")
+        self._obs_attempted = registry.counter(
+            "sim.sends_attempted", "edge sends attempted",
+        )
+        self._obs_delivered = registry.counter(
+            "sim.sends_delivered", "edge sends delivered",
+        )
+        registry.gauge(
+            "sim.server_packets", "source emissions so far",
+            fn=lambda: self.server_packets,
+        )
+        registry.gauge(
+            "sim.completed_nodes", "nodes that fully decoded",
+            fn=lambda: len(self.behavior.completed_at()),
+        )
+        registry.gauge(
+            "sim.delivery_ratio", "delivered / attempted sends",
+            fn=lambda: self.link_stats.delivery_ratio,
+        )
+        registry.gauge(
+            "sim.innovative_ratio",
+            "rank-increasing fraction of delivered packets (measured nodes)",
+            fn=self._innovative_ratio,
+        )
+
+    def _innovative_ratio(self) -> float:
+        reports = [
+            self.behavior.node_report(node_id)
+            for node_id in self.measured_nodes()
+        ]
+        received = sum(r.received for r in reports)
+        if received == 0:
+            return 0.0
+        return sum(r.innovative for r in reports) / received
 
     # -- scheduling hooks ----------------------------------------------
 
@@ -302,6 +357,8 @@ class SlottedRuntime:
 
     def step(self) -> None:
         """Advance one slot (outage dynamics, emit phase, deliver phase)."""
+        timing = self._obs_slot_seconds
+        started = perf_counter() if timing is not None else 0.0
         if self.outage is not None:
             self.outage.advance(
                 self.outaged, self.topology.live_nodes(), self.streams.get("outage")
@@ -360,6 +417,11 @@ class SlottedRuntime:
                 )
             )
         self.slot += 1
+        if timing is not None:
+            timing.observe(perf_counter() - started)
+            self._obs_slots.inc()
+            self._obs_attempted.inc(len(sends))
+            self._obs_delivered.inc(delivered_count)
 
     def run(self, slots: int) -> RunReport:
         """Run ``slots`` more slots and return the cumulative report."""

@@ -95,3 +95,47 @@ def test_run_scenario_is_a_coroutine():
 
     result = asyncio.run(run_scenario("baseline", seed=2))
     assert result.ok
+
+
+class TestFlightRecorderDump:
+    """A failing invariant must come with a flight-recorder dump."""
+
+    def _run_with_forced_violation(self):
+        import asyncio
+
+        async def _scenario():
+            harness = ChaosHarness(ChaosConfig(peers=3), transport="virtual")
+            try:
+                await harness.start()
+                await harness.run_until(harness.converged)
+                # Corrupt one peer's thread map behind the server's back:
+                # the matrix-vs-engine invariant must now fail.
+                peer = harness.peers[0]
+                column = next(iter(peer.engine.parents))
+                peer.engine.parents[column] = 9999
+                await harness.settle()
+                harness.check_invariants()
+                result = harness.result("forced_violation")
+            finally:
+                await harness.teardown()
+            return result
+
+        return asyncio.run(_scenario())
+
+    def test_violation_emits_dump_of_implicated_engines(self):
+        result = self._run_with_forced_violation()
+        assert result.violations, "tampering did not trip the invariant"
+        assert "flight recorder: server" in result.flight_dump
+        assert "flight recorder: peer0" in result.flight_dump
+        # The dump carries actual engine steps, not empty recorders.
+        assert "->" in result.flight_dump
+
+    def test_summary_includes_the_dump(self):
+        result = self._run_with_forced_violation()
+        assert not result.ok
+        assert "flight recorder" in result.summary()
+
+    def test_passing_run_has_no_dump(self):
+        result = run_scenario_sync("baseline", seed=0)
+        assert result.ok
+        assert result.flight_dump == ""

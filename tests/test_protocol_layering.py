@@ -20,6 +20,15 @@ class TestProtocolLayering:
         violations = check_layering.check_protocol_package()
         assert violations == []
 
+    def test_obs_core_is_sans_io(self):
+        violations = check_layering.check_obs_package()
+        assert violations == []
+
+    def test_obs_http_is_the_only_exempt_module(self):
+        """The I/O escape hatch stays exactly one module wide."""
+        assert check_layering.OBS_IO_MODULES == {"http.py"}
+        assert (check_layering.OBS_DIR / "http.py").is_file()
+
     def test_checker_catches_absolute_import(self, tmp_path):
         bad = tmp_path / "bad.py"
         bad.write_text("import asyncio\nfrom repro.net import PeerNode\n")

@@ -11,6 +11,14 @@ rejects any import of
 
 whether spelled absolute or relative (``from ..net import ...``).
 
+The same contract covers the ``repro.obs`` core: registries, flight
+recorder, exporters, and instruments are snapshot-on-read data
+structures any driver may embed, so everything except the explicitly
+I/O module ``obs/http.py`` must stay free of event loops and driver
+imports.  (``obs`` may import ``repro.protocol`` — instruments classify
+engine effects — but never the reverse; engines reach obs only through
+duck-typed attributes.)
+
 Run from the repo root (CI's lint job does, and a tier-1 test wraps
 it):
 
@@ -23,7 +31,13 @@ import ast
 import sys
 from pathlib import Path
 
-PROTOCOL_DIR = Path(__file__).resolve().parent.parent / "src" / "repro" / "protocol"
+_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
+PROTOCOL_DIR = _REPRO / "protocol"
+OBS_DIR = _REPRO / "obs"
+
+#: Modules of ``repro.obs`` that are allowed to do I/O (everything else
+#: in the package must stay sans-IO like the protocol core).
+OBS_IO_MODULES = {"http.py"}
 
 #: Module roots the protocol core may never import.
 BANNED_ROOTS = {
@@ -83,18 +97,34 @@ def check_protocol_package(root: Path = PROTOCOL_DIR) -> list[str]:
     return violations
 
 
+def check_obs_package(root: Path = OBS_DIR) -> list[str]:
+    """The obs core (everything but ``http.py``) is held to the same bans."""
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name in OBS_IO_MODULES:
+            continue
+        violations.extend(check_file(path))
+    return violations
+
+
 def main() -> int:
-    if not PROTOCOL_DIR.is_dir():
-        print(f"error: {PROTOCOL_DIR} not found", file=sys.stderr)
-        return 2
-    violations = check_protocol_package()
-    if violations:
-        print("repro.protocol layering violations:", file=sys.stderr)
-        for violation in violations:
-            print(f"  {violation}", file=sys.stderr)
-        return 1
-    print("repro.protocol layering: clean")
-    return 0
+    status = 0
+    for name, directory, checker in (
+        ("repro.protocol", PROTOCOL_DIR, check_protocol_package),
+        ("repro.obs core", OBS_DIR, check_obs_package),
+    ):
+        if not directory.is_dir():
+            print(f"error: {directory} not found", file=sys.stderr)
+            return 2
+        violations = checker()
+        if violations:
+            print(f"{name} layering violations:", file=sys.stderr)
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"{name} layering: clean")
+    return status
 
 
 if __name__ == "__main__":
