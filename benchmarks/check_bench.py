@@ -25,7 +25,11 @@ Gates (floor = ``RATIO_TOLERANCE * HARDWARE_DRIFT *`` recorded):
 plus smoke checks that the PR-6 sections (``wire_batch``,
 ``recode_batch``, ``net_throughput``) ran, produced positive rates, and
 that the batched recode/net paths did not fall behind their own scalar
-arms.
+arms; plus the PR-9 ``scaling`` section: all four populations (100 /
+1k / 5k / 10k) must report positive server-ops/s and slots/s, and the
+server-op rate at 10k must stay within ``SCALING_MAX_DEGRADATION`` of
+the 100-peer rate (sublinear membership cost — the indexed engine
+state's acceptance bar).
 
 Usage (CI runs the quick microbench first)::
 
@@ -64,7 +68,23 @@ SMOKE_POSITIVE = [
     ("net_throughput", "packets_per_s"),
     ("obs_overhead", "slots_per_s"),
     ("obs_overhead", "enqueues_per_s"),
+    ("scaling", "server_ops_per_s_n100"),
+    ("scaling", "server_ops_per_s_n1000"),
+    ("scaling", "server_ops_per_s_n5000"),
+    ("scaling", "server_ops_per_s_n10000"),
+    ("scaling", "slots_per_s_n100"),
+    ("scaling", "slots_per_s_n1000"),
+    ("scaling", "slots_per_s_n5000"),
+    ("scaling", "slots_per_s_n10000"),
 ]
+
+#: Sublinear-scaling gate for the PR-9 indexed engine state: ops/s at
+#: 10k peers must stay within this factor of ops/s at 100 peers.  The
+#: pre-index linear scans degraded ~100x over that population span
+#: (per-op cost O(n)); the indexed paths measure ~2x, so a 10x bar
+#: fails a reintroduced scan by an order of magnitude while tolerating
+#: noisy runners.
+SCALING_MAX_DEGRADATION = 10.0
 
 #: (section, key) batched-vs-scalar ratios that must not drop below 1.0
 #: even on a noisy runner (floor leaves headroom under the measured ~2x).
@@ -112,6 +132,17 @@ def check(results: dict, baseline: dict) -> list[str]:
             failures.append(
                 f"{section}.{key}: {value:.2f} < floor {floor:.2f} "
                 f"(batched path slower than its scalar arm)"
+            )
+    scaling = results.get("scaling", {})
+    small = scaling.get("server_ops_per_s_n100")
+    large = scaling.get("server_ops_per_s_n10000")
+    if small is not None and large is not None and small > 0:
+        if large < small / SCALING_MAX_DEGRADATION:
+            failures.append(
+                f"scaling.server_ops_per_s_n10000: {large:,.0f} is more "
+                f"than {SCALING_MAX_DEGRADATION:g}x below the n=100 rate "
+                f"{small:,.0f} — membership ops are scaling linearly "
+                f"again (a reintroduced registry scan?)"
             )
     return failures
 

@@ -28,7 +28,11 @@ JSON perf snapshot so the trajectory across PRs is diffable:
 * **obs_overhead** — the same slot loop and sender enqueue path with
   and without ``repro.obs`` instrumentation attached, interleaved A/B
   slices in one process; the acceptance bar is a relative throughput
-  of >= 0.98 on both arms (observability must cost <= 2%).
+  of >= 0.98 on both arms (observability must cost <= 2%);
+* **scaling** — membership ops/s on the coordination server and
+  slot-loop rates at populations 100 / 1k / 5k / 10k; the CI gate
+  requires the server rate to degrade sublinearly in n (the indexed
+  engine-state acceptance curve).
 
 Usage::
 
@@ -63,7 +67,7 @@ from repro.sim.broadcast import BroadcastSimulation
 from repro.sim.links import LossModel
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUT = REPO_ROOT / "BENCH_PR8.json"
+DEFAULT_OUT = REPO_ROOT / "BENCH_PR9.json"
 #: Perf snapshot recorded before the unified-runtime migration; the
 #: runtime_overhead bench reads its slot-loop numbers as the reference.
 PR1_SNAPSHOT = REPO_ROOT / "BENCH_PR1.json"
@@ -656,6 +660,60 @@ def bench_runtime_overhead(quick: bool) -> dict[str, float]:
     return metrics
 
 
+#: Populations the scaling section sweeps (the PR-9 acceptance curve).
+SCALING_POPULATIONS = (100, 1000, 5000, 10000)
+
+
+def bench_scaling(quick: bool) -> dict[str, float]:
+    """Server-ops/s and slot-loop rates at n in {100, 1k, 5k, 10k}.
+
+    The membership loop exercises exactly the paths the indexed engine
+    state rewrote — fail detection, repair splices, uniform-insertion
+    joins, graceful leaves — at a *held* population (each fail+repair
+    splice is balanced by a join, so the op mix runs at size n rather
+    than draining the registry).  With the old linear scans the per-op
+    cost grew O(n) and ops/s at 10k sat ~100x below ops/s at 100; the
+    indexed structures hold the drop to a small factor, which is what
+    ``check_bench.py`` gates (``server_ops_per_s_n10000`` within 10x of
+    ``server_ops_per_s_n100``).
+
+    The slot loop measures the vectorised data plane at the same
+    populations; ``node_slots_per_s`` (slots/s x n) is the
+    population-normalised rate and should hold roughly flat.
+    """
+    cycles = 60 if quick else 300
+    slot_budget = 4 if quick else 8
+    metrics: dict[str, float] = {}
+    for n in SCALING_POPULATIONS:
+        net = OverlayNetwork(k=32, d=2, seed=909)
+        net.grow(n)
+        ops = 0
+        start = time.perf_counter()
+        for _ in range(cycles):
+            victim = net.random_working_node()
+            net.fail(victim)
+            net.repair(victim)
+            net.join()
+            net.leave(net.random_working_node())
+            net.join()
+            ops += 6
+        elapsed = time.perf_counter() - start
+        metrics[f"server_ops_per_s_n{n}"] = ops / elapsed if elapsed else 0.0
+        rng = np.random.default_rng(909)
+        content = bytes(rng.integers(0, 256, size=4 * 16, dtype=np.uint8))
+        sim = BroadcastSimulation(
+            net, content, GenerationParams(4, 16), seed=909,
+            loss=LossModel(0.0),
+        )
+        start = time.perf_counter()
+        report = sim.run_until_complete(max_slots=slot_budget)
+        elapsed = time.perf_counter() - start
+        slot_rate = report.slots / elapsed if elapsed else 0.0
+        metrics[f"slots_per_s_n{n}"] = slot_rate
+        metrics[f"node_slots_per_s_n{n}"] = slot_rate * n
+    return metrics
+
+
 # ----------------------------------------------------------------------
 
 
@@ -671,6 +729,7 @@ def run(quick: bool) -> dict[str, dict[str, float]]:
         "slot_loop": bench_slot_loop(quick),
         "runtime_overhead": bench_runtime_overhead(quick),
         "obs_overhead": bench_obs_overhead(quick),
+        "scaling": bench_scaling(quick),
     }
 
 

@@ -240,6 +240,39 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Long-horizon churn soak on the turbo virtual network."""
+    from .net.testing import SoakConfig, run_soak
+
+    peers, hours, epoch = args.peers, args.hours, args.epoch
+    if args.smoke:
+        # CI-grade preset: small population, minutes of virtual time.
+        peers = peers if args.peers != 1000 else 200
+        hours = min(hours, 0.1)
+        epoch = min(epoch, 30.0)
+    config = SoakConfig(
+        peers=peers,
+        hours=hours,
+        epoch=epoch,
+        trace=args.trace,
+        seed=args.seed,
+    )
+    print(f"soaking {config.trace!r}: n={config.peers} "
+          f"horizon={config.hours:g}h epoch={config.epoch:g}s "
+          f"seed={config.seed}")
+    report = asyncio.run(run_soak(config))
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  violation: {violation}")
+    if report.flight_dump and args.dump:
+        print(report.flight_dump)
+    if args.trace_out:
+        report.history.save(args.trace_out)
+        print(f"churn trace ({len(report.history)} events) written to "
+              f"{args.trace_out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run a standalone coordination + source server."""
     from .coding.generation import GenerationParams
@@ -524,6 +557,27 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--list", action="store_true",
                        help="list known scenarios and exit")
     chaos.set_defaults(func=_cmd_chaos)
+
+    soak = sub.add_parser(
+        "soak",
+        help="virtual-hours churn soak against a large swarm",
+    )
+    soak.add_argument("--peers", type=int, default=1000,
+                      help="initial population (default 1000)")
+    soak.add_argument("--hours", type=float, default=2.0,
+                      help="soak horizon in virtual hours")
+    soak.add_argument("--epoch", type=float, default=60.0,
+                      help="epoch length in virtual seconds")
+    soak.add_argument("--trace", choices=["steady", "flash", "correlated"],
+                      default="steady", help="churn trace shape")
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--smoke", action="store_true",
+                      help="CI preset: 200 peers, 0.1 virtual hours")
+    soak.add_argument("--dump", action="store_true",
+                      help="print the flight-recorder dump on violation")
+    soak.add_argument("--trace-out", default=None, metavar="PATH",
+                      help="save the applied churn trace as JSON")
+    soak.set_defaults(func=_cmd_soak)
 
     serve = sub.add_parser("serve", help="run a live coordination + source server")
     serve.add_argument("--host", default="127.0.0.1")

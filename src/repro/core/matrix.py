@@ -67,6 +67,12 @@ class ThreadMatrix:
         # Per-column key-sorted occupancy: parallel (keys, ids) lists.
         self._col_keys: list[list[float]] = [[] for _ in range(k)]
         self._col_ids: list[list[int]] = [[] for _ in range(k)]
+        # Global key-sorted row order, maintained incrementally (one
+        # O(log N) bisect per join/leave) so ``node_ids`` is a copy, not
+        # a fresh O(N log N) sort — simulators and failure models read
+        # the row order every slot, which dominates at 10k-peer scale.
+        self._order_keys: list[float] = []
+        self._order_ids: list[int] = []
         #: Monotone counter bumped by every structural mutation (join,
         #: leave, drop_thread, add_thread).  Consumers cache derived
         #: topology (chains, children maps) keyed on this value and
@@ -85,7 +91,7 @@ class ThreadMatrix:
     @property
     def node_ids(self) -> list[int]:
         """All current node ids, in arrival-key (i.e. matrix row) order."""
-        return sorted(self._rows, key=lambda n: self._rows[n].key)
+        return list(self._order_ids)
 
     def row(self, node_id: int) -> Row:
         """The row of ``node_id``; KeyError if absent."""
@@ -189,6 +195,9 @@ class ThreadMatrix:
         key = self._allocator.next_key()
         row = Row(node_id=node_id, key=key, columns=column_set)
         self._rows[node_id] = row
+        index = bisect_left(self._order_keys, key)
+        self._order_keys.insert(index, key)
+        self._order_ids.insert(index, node_id)
         for column in column_set:
             self._insert_into_column(column, key, node_id)
         return row
@@ -201,6 +210,10 @@ class ThreadMatrix:
         corresponding child (Lemma 1).
         """
         row = self._rows.pop(node_id)
+        index = bisect_left(self._order_keys, row.key)
+        assert self._order_ids[index] == node_id  # keys are unique
+        self._order_keys.pop(index)
+        self._order_ids.pop(index)
         for column in row.columns:
             self._remove_from_column(column, row.key, node_id)
         return row
@@ -315,3 +328,9 @@ class ThreadMatrix:
         for node_id, row in self._rows.items():
             for column in row.columns:
                 assert node_id in self._col_ids[column]
+        assert len(self._order_ids) == len(self._rows)
+        assert self._order_keys == sorted(self._order_keys), "row order unsorted"
+        for key, node_id in zip(self._order_keys, self._order_ids):
+            row = self._rows.get(node_id)
+            assert row is not None, f"ghost node {node_id} in row order"
+            assert row.key == key, f"row-order key drift for node {node_id}"

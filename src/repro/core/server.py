@@ -50,6 +50,9 @@ class CoordinationServer:
         self.matrix = ThreadMatrix(k, allocator)
         self.registry: dict[int, NodeInfo] = {}
         self.failed: set[int] = set()
+        #: Registered-and-not-failed ids, maintained on every membership
+        #: edit so working-set queries never rescan the registry.
+        self._working: set[int] = set()
         self.stats = MessageStats()
         self._next_id = 0
         self._join_sequence = 0
@@ -64,11 +67,19 @@ class CoordinationServer:
 
     @property
     def working_nodes(self) -> list[int]:
-        """Ids of nodes not currently failed."""
-        return [n for n in self.matrix.node_ids if n not in self.failed]
+        """Ids of nodes not currently failed, in matrix row order."""
+        if not self.failed:
+            return self.matrix.node_ids
+        working = self._working
+        return [n for n in self.matrix.node_ids if n in working]
+
+    @property
+    def working_count(self) -> int:
+        """Number of working nodes, without materialising the list."""
+        return len(self._working)
 
     def is_working(self, node_id: int) -> bool:
-        return node_id in self.registry and node_id not in self.failed
+        return node_id in self._working
 
     # ------------------------------------------------------------------
     # Hello protocol
@@ -94,6 +105,7 @@ class CoordinationServer:
         self.registry[node_id] = NodeInfo(
             node_id=node_id, nominal_degree=degree, joined_at=self._join_sequence
         )
+        self._working.add(node_id)
         assignments = tuple(
             ThreadAssignment(column=column, parent=parent)
             for column, parent in sorted(self.matrix.parents_of(node_id).items())
@@ -132,6 +144,7 @@ class CoordinationServer:
         if node_id in self.failed:
             return
         self.failed.add(node_id)
+        self._working.discard(node_id)
         self.registry[node_id].status = NodeStatus.FAILED
 
     def complain(self, reporter: int, column: int) -> Optional[Complaint]:
@@ -214,5 +227,6 @@ class CoordinationServer:
         )
         self.matrix.leave(node_id)
         self.registry.pop(node_id, None)
+        self._working.discard(node_id)
         self.stats.redirects += len(redirects)
         return redirects

@@ -112,6 +112,17 @@ class PeerNode:
             fan-out, encode-once frames, coalesced flushes).  Off
             reproduces the scalar per-packet path — RNG-stream and
             wire-byte identical, kept for A/B throughput measurement.
+        forward_policy: ``"eager"`` (default) recodes toward every
+            child on *every* upstream arrival — the paper's constant
+            per-thread flow, which is fine on rate-limited real links
+            but multiplies per hop on an infinitely fast virtual
+            network.  ``"innovative"`` fans out only when the arrival
+            raised our rank, bounding total forwards per node at
+            ``rank x children`` — the swarm harness's scale mode.
+        seed_burst: Packets recoded toward a child immediately when it
+            attaches (default 1).  Swarm runs set it to the generation
+            size so a repaired child recovers from the burst instead of
+            waiting on upstream innovation.
     """
 
     def __init__(
@@ -129,7 +140,13 @@ class PeerNode:
         on_complete: Optional[Callable[["PeerNode"], None]] = None,
         transport: Optional[Transport] = None,
         batched: bool = True,
+        forward_policy: str = "eager",
+        seed_burst: int = 1,
     ) -> None:
+        if forward_policy not in ("eager", "innovative"):
+            raise ValueError(f"unknown forward_policy {forward_policy!r}")
+        if seed_burst < 0:
+            raise ValueError("seed_burst must be >= 0")
         self.transport: Transport = (
             transport if transport is not None else AsyncioTransport()
         )
@@ -151,6 +168,8 @@ class PeerNode:
         self.reconnect_max = reconnect_max
         self.on_complete = on_complete
         self.batched = batched
+        self.forward_policy = forward_policy
+        self.seed_burst = seed_burst
         self.stats = PeerStats()
         self.completed = False
         self.recoder: Optional[Recoder] = None
@@ -496,7 +515,11 @@ class PeerNode:
         sender = PacketSender(
             writer, column=hello.column, sender_id=self.node_id or -1,
             limit=self.queue_limit, keepalive_interval=self.keepalive_interval,
-            clock=self.clock, coalesce=self.batched, logger=self.log,
+            clock=self.clock, coalesce=self.batched,
+            idle_packet=(
+                self._emit_idle if self.forward_policy == "innovative" else None
+            ),
+            logger=self.log,
         )
         self.sender_stats.append(sender.stats)
         self._children[key] = sender
@@ -512,23 +535,43 @@ class PeerNode:
         )
         # Seed the child immediately rather than waiting for our next
         # upstream arrival (matters when upstream is already complete).
-        packet = self.recoder.emit() if self.recoder is not None else None
-        if packet is not None:
-            sender.enqueue(packet)
-            self.stats.forwarded += 1
+        if self.recoder is not None:
+            for _ in range(max(1, self.seed_burst)):
+                packet = self.recoder.emit()
+                if packet is None:
+                    break
+                sender.enqueue(packet)
+                self.stats.forwarded += 1
         try:
             await sender.run()
         finally:
             if self._children.get(key) is sender:
                 del self._children[key]
 
+    def _emit_idle(self) -> Optional[CodedPacket]:
+        """A fresh mixture for an idle child link (swarm scale mode)."""
+        if self.recoder is None:
+            return None
+        return self.recoder.emit()
+
     def _on_packet(self, packet: CodedPacket) -> None:
         """Ingest one upstream packet and fan fresh mixtures downstream."""
         self.stats.received += 1
-        if self.recoder.receive(packet):
+        innovative = self.recoder.receive(packet)
+        if innovative:
             self.stats.innovative += 1
-        children = list(self._children.values())
-        if self.batched:
+        if not innovative and self.forward_policy == "innovative":
+            # Scale mode: a non-innovative arrival adds nothing our
+            # children haven't already been sent — fanning it out anyway
+            # is what turns depth-D chains into 2^D packet storms on a
+            # zero-latency network.  (Idle keep-alive packets cover the
+            # rare child left short by a dependent mixture.)
+            children = []
+        else:
+            children = list(self._children.values())
+        if not children:
+            pass
+        elif self.batched:
             # Every child still gets its own fresh mixture (the paper's
             # recode-and-forward), but the GF mixing collapses to one
             # gemm per generation and the mixtures go straight from the

@@ -32,7 +32,7 @@ import asyncio
 import logging
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import Callable, Deque, Optional
 
 from ..coding.packet import CodedPacket
 from ..protocol.messages import KeepAlive
@@ -76,6 +76,11 @@ class PacketSender:
             when the writer supports it.  Off, every frame is written
             individually — the pre-batching behaviour, kept for A/B
             throughput measurement.
+        idle_packet: Optional source of a fresh coded packet to send in
+            place of a bare keep-alive when the idle timer fires (the
+            swarm harness's innovation-gated mode uses this so a child
+            stuck one degree short of full rank still heals).  Returning
+            None falls back to the normal keep-alive frame.
         logger: Destination for backpressure decisions (evictions are
             logged at DEBUG); None keeps the pump silent.
     """
@@ -90,6 +95,7 @@ class PacketSender:
         keepalive_interval: Optional[float] = None,
         clock: Optional[Clock] = None,
         coalesce: bool = True,
+        idle_packet: Optional[Callable[[], Optional[CodedPacket]]] = None,
         logger: Optional[logging.Logger] = None,
     ) -> None:
         if limit < 1:
@@ -101,6 +107,7 @@ class PacketSender:
         self._writelines = getattr(writer, "writelines", None) if coalesce else None
         self._limit = limit
         self._keepalive_interval = keepalive_interval
+        self._idle_packet = idle_packet
         self._clock = clock if clock is not None else AsyncioClock()
         self._logger = logger
         # Cached once: the eviction path runs per enqueued frame, and
@@ -199,12 +206,19 @@ class PacketSender:
             )
             return True
         except asyncio.TimeoutError:
-            frame = encode_frame(
-                KIND_CONTROL,
-                encode_control(KeepAlive(column=self.column, sender=self.sender_id)),
-            )
+            packet = self._idle_packet() if self._idle_packet is not None else None
+            if packet is not None:
+                frame = encode_data_frame(packet)
+                self.stats.sent += 1
+            else:
+                frame = encode_frame(
+                    KIND_CONTROL,
+                    encode_control(
+                        KeepAlive(column=self.column, sender=self.sender_id)
+                    ),
+                )
+                self.stats.keepalives += 1
             self._writer.write(frame)
-            self.stats.keepalives += 1
             self.stats.bytes_sent += len(frame)
             self.stats.flushes += 1
             await self._writer.drain()

@@ -9,6 +9,9 @@ Two layers:
 * :mod:`~repro.net.testing.scenarios` — a :class:`ChaosHarness` and a
   registry of named chaos scenarios asserting the §3-§6 protocol
   invariants end to end.
+* :mod:`~repro.net.testing.swarm` — the same machinery with every
+  scale switch flipped (turbo network, quantum clock, batched joins)
+  for 1k-10k peer rounds and the soak runner built on top of them.
 """
 
 from .scenarios import (
@@ -22,6 +25,8 @@ from .scenarios import (
     run_scenario_sync,
     trace_digest,
 )
+from .soak import TRACE_SHAPES, SoakConfig, SoakReport, run_soak
+from .swarm import SwarmConfig, SwarmHarness, SwarmReport, run_swarm_round
 from .virtualnet import LinkFaults, VirtualClock, VirtualNetwork, VirtualTransport
 
 __all__ = [
@@ -31,11 +36,19 @@ __all__ = [
     "SCENARIOS",
     "Scenario",
     "ScenarioResult",
+    "SoakConfig",
+    "SoakReport",
+    "SwarmConfig",
+    "SwarmHarness",
+    "SwarmReport",
     "VirtualClock",
     "VirtualNetwork",
     "VirtualTransport",
+    "TRACE_SHAPES",
     "get_scenario",
+    "run_soak",
     "run_scenario",
     "run_scenario_sync",
+    "run_swarm_round",
     "trace_digest",
 ]

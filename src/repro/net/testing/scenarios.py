@@ -38,7 +38,7 @@ from ...protocol import ReconnectBackoff
 from ..peer import PeerNode
 from ..server import ServerNode
 from ..transport import AsyncioTransport, Clock, Transport
-from .virtualnet import VirtualNetwork
+from .virtualnet import VirtualClock, VirtualNetwork
 
 __all__ = [
     "ChaosConfig",
@@ -72,6 +72,11 @@ class ChaosConfig:
     probe_timeout: float = 0.5
     reconnect_base: float = 0.05
     reconnect_max: float = 0.8
+    #: Peer fan-out policy: "eager" (the default, digest-pinned) or
+    #: "innovative" (swarm scale mode — see PeerNode.forward_policy).
+    forward_policy: str = "eager"
+    #: Packets recoded toward a child the moment it attaches.
+    seed_burst: int = 1
     #: Scenario budget in (virtual) seconds; exceeding it is a failure.
     deadline: float = 120.0
 
@@ -138,19 +143,36 @@ class ChaosHarness:
     is reported at once.
     """
 
-    def __init__(self, config: ChaosConfig, *, transport: str = "virtual") -> None:
+    def __init__(
+        self,
+        config: ChaosConfig,
+        *,
+        transport: str = "virtual",
+        turbo: bool = False,
+        quantum: float = 0.0,
+        record_trace: bool = True,
+    ) -> None:
         if transport not in ("virtual", "live"):
             raise ValueError(f"unknown transport {transport!r}")
         self.config = config
         self.mode = transport
         if transport == "virtual":
-            self.net: Optional[VirtualNetwork] = VirtualNetwork(seed=config.seed)
+            self.net: Optional[VirtualNetwork] = VirtualNetwork(
+                VirtualClock(quantum=quantum),
+                seed=config.seed,
+                turbo=turbo,
+                record_trace=record_trace,
+            )
             self.clock: Clock = self.net.clock
         else:
             self.net = None
             self.clock = AsyncioTransport().clock
         self.server: Optional[ServerNode] = None
         self.peers: list[PeerNode] = []
+        # node_id -> peer index, maintained as peers join (and rebuilt
+        # lazily if a lookup races a grant) so topology reads like
+        # ``data_edges`` stay O(edges) instead of O(edges * peers).
+        self._node_index: dict[int, int] = {}
         self.killed: set[int] = set()
         self.left: set[int] = set()
         self.violations: list[str] = []
@@ -194,11 +216,9 @@ class ChaosHarness:
         for _ in range(config.peers if peers is None else peers):
             await self.add_peer()
 
-    async def add_peer(self) -> PeerNode:
-        """Join one more peer (host ``peerN`` on the virtual network)."""
+    def _make_peer(self, index: int) -> PeerNode:
         config = self.config
-        index = len(self.peers)
-        peer = PeerNode(
+        return PeerNode(
             self.server_host, self.server.port,
             seed=config.seed + 1 + index,
             queue_limit=config.queue_limit,
@@ -206,11 +226,47 @@ class ChaosHarness:
             silence_timeout=config.silence_timeout,
             reconnect_base=config.reconnect_base,
             reconnect_max=config.reconnect_max,
+            forward_policy=config.forward_policy,
+            seed_burst=config.seed_burst,
             transport=self._transport_for(f"peer{index}"),
         )
+
+    async def add_peer(self) -> PeerNode:
+        """Join one more peer (host ``peerN`` on the virtual network)."""
+        index = len(self.peers)
+        peer = self._make_peer(index)
         await self._drive(peer.start())
         self.peers.append(peer)
+        if peer.node_id is not None:
+            self._node_index[peer.node_id] = index
         return peer
+
+    async def add_peers(
+        self, count: int, *, batch: int = 64, timeout: float = 60.0
+    ) -> list[PeerNode]:
+        """Join ``count`` peers, dialling up to ``batch`` concurrently.
+
+        Serial joins pump the clock once per peer, which is fine for a
+        dozen and is the dominant cost at ten thousand — batched joins
+        overlap the hello round-trips instead.  Join *order* (and hence
+        node-id assignment) still follows peer index: hellos are sent in
+        index order on a deterministic clock.
+        """
+        added: list[PeerNode] = []
+        while len(added) < count:
+            group = min(batch, count - len(added))
+            start_index = len(self.peers)
+            peers = [self._make_peer(start_index + i) for i in range(group)]
+            self.peers.extend(peers)
+            await self._drive(
+                asyncio.gather(*(peer.start() for peer in peers)),
+                timeout=timeout,
+            )
+            for offset, peer in enumerate(peers):
+                if peer.node_id is not None:
+                    self._node_index[peer.node_id] = start_index + offset
+            added.extend(peers)
+        return added
 
     async def teardown(self) -> None:
         try:
@@ -256,10 +312,23 @@ class ChaosHarness:
         return True
 
     async def settle(self, duration: Optional[float] = None) -> None:
-        """Let in-flight control traffic land before checking invariants."""
-        await self.clock.advance(
-            4 * self.config.send_interval if duration is None else duration
-        )
+        """Let in-flight control traffic land before checking invariants.
+
+        A scenario that never quiesces (a busy-spinning task, a timer
+        loop that re-arms faster than the clock drains it) used to hang
+        here — the clock's settle loop would spin until the process was
+        killed, leaving no evidence.  The advance now runs under a
+        virtual-time deadline; if the clock cannot settle, the failure
+        is recorded as a violation with a full flight-recorder dump and
+        the harness proceeds to an orderly teardown.
+        """
+        span = 4 * self.config.send_interval if duration is None else duration
+        try:
+            await self.clock.advance(span)
+        except RuntimeError as error:
+            message = f"settle never quiesced: {error}"
+            self.violations.append(message)
+            self._record_flight_dump([message])
 
     # -- fault injection ----------------------------------------------
 
@@ -318,9 +387,20 @@ class ChaosHarness:
         ]))
 
     def index_of(self, node_id: int) -> Optional[int]:
-        for index, peer in enumerate(self.peers):
-            if peer.node_id == node_id:
-                return index
+        if node_id is None or node_id == SERVER:
+            return None
+        index = self._node_index.get(node_id)
+        if index is not None:
+            return index
+        if len(self._node_index) < len(self.peers):
+            # Some peers got their grant after the last index update
+            # (e.g. a scenario drove start() by hand); refresh once.
+            self._node_index = {
+                peer.node_id: i
+                for i, peer in enumerate(self.peers)
+                if peer.node_id is not None
+            }
+            return self._node_index.get(node_id)
         return None
 
     def data_edges(self) -> list[tuple[int, int, int]]:

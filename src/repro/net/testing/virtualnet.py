@@ -29,6 +29,28 @@ from one heap, and the asyncio loop's ready-queue is settled between
 timer firings — so a scenario replayed with the same seed produces an
 identical :attr:`VirtualNetwork.trace`, event for event.  No socket is
 ever opened.
+
+Scale mode.  The default pipeline pays for its fidelity: every ``write``
+copies a segment, wakes a per-pipe pump task, and every timer firing
+settles the whole event loop before the next one pops.  That is exactly
+right for a dozen peers under scripted faults and far too slow for ten
+thousand.  ``VirtualNetwork(turbo=True)`` keeps the same API and the
+same determinism (one seed, one heap) but takes three shortcuts sized
+for clean links:
+
+* **no-fault fast path** — a segment written to a link with no scripted
+  faults is appended straight to the reader's buffer (zero copies, no
+  pump wakeup); the pump task is only created the first time a link
+  actually needs delay, loss, or throttling;
+* **coalesced writes** — virtual writers expose ``writelines`` so
+  the drop-oldest pumps flush a whole queue as one segment;
+* **timer batching** — a :class:`VirtualClock` built with a non-zero
+  ``quantum`` fires every timer due within one quantum together and
+  settles the loop once per batch instead of once per timer.
+
+Turbo runs are still deterministic, but their event interleaving (and
+hence trace) differs from the default mode — the pinned chaos digests
+are recorded in default mode, which stays bit-identical.
 """
 
 from __future__ import annotations
@@ -64,13 +86,25 @@ class VirtualClock:
     a deterministic, repeatable order.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, quantum: float = 0.0) -> None:
         self._now = 0.0
         self._timers: list[tuple[float, int, asyncio.Future]] = []
         self._seq = itertools.count()
         #: Bound on settle iterations, so a busy-spinning task turns
         #: into a loud failure instead of a silent hang.
         self.settle_limit = 10_000
+        #: Bound on timer firings per ``run_until`` call: a task that
+        #: re-arms an epsilon timer on every wakeup keeps the virtual
+        #: deadline finite but the wall clock unbounded — fail loudly
+        #: instead.  10k-peer swarms legitimately fire ~100k timers per
+        #: advance, so the ceiling is generous.
+        self.firing_limit = 2_000_000
+        #: Timer coalescing window: all timers due within one quantum of
+        #: the earliest are fired together and the loop settles once per
+        #: batch.  0.0 (the default) settles after every single timer —
+        #: the maximally deterministic interleaving the pinned chaos
+        #: digests were recorded under.
+        self.quantum = quantum
 
     def time(self) -> float:
         return self._now
@@ -87,6 +121,14 @@ class VirtualClock:
         if timeout is None:
             return await awaitable
         task = asyncio.ensure_future(awaitable)
+        if self.quantum:
+            # Scale mode: the overwhelmingly common wait (a frame read
+            # with bytes already buffered) completes on its first step —
+            # skip the timer future, the heap push and the extra task
+            # the full two-future wait would cost per frame.
+            await asyncio.sleep(0)
+            if task.done() and not task.cancelled():
+                return task.result()
         timer = asyncio.ensure_future(self.sleep(timeout))
         try:
             await asyncio.wait({task, timer}, return_when=asyncio.FIRST_COMPLETED)
@@ -110,16 +152,32 @@ class VirtualClock:
     async def run_until(self, deadline: float) -> None:
         """Fire every timer due at or before ``deadline``, letting the
         event loop settle after each firing; ends with time == deadline."""
+        fired = 0
         while True:
             await self._settle()
             while self._timers and self._timers[0][2].done():
                 heappop(self._timers)  # cancelled sleeps
             if not self._timers or self._timers[0][0] > deadline:
                 break
+            fired += 1
+            if fired > self.firing_limit:
+                raise RuntimeError(
+                    f"virtual clock fired {self.firing_limit} timers before "
+                    f"reaching t={deadline} (task re-arming an epsilon timer?)"
+                )
             when, _, future = heappop(self._timers)
             self._now = max(self._now, when)
             if not future.done():
                 future.set_result(None)
+            if self.quantum:
+                # Batch mode: fire everything due within one quantum,
+                # then settle once for the whole batch.
+                horizon = min(when + self.quantum, deadline)
+                while self._timers and self._timers[0][0] <= horizon:
+                    when, _, future = heappop(self._timers)
+                    self._now = max(self._now, when)
+                    if not future.done():
+                        future.set_result(None)
         self._now = max(self._now, deadline)
         await self._settle()
 
@@ -163,6 +221,20 @@ class LinkFaults:
     def delivers(self) -> bool:
         return not (self.partitioned or self.blackhole)
 
+    def is_clean(self) -> bool:
+        """True when nothing is scripted on the link: a segment can be
+        delivered synchronously without changing observable behaviour."""
+        return (
+            self.latency == 0.0
+            and self.jitter == 0.0
+            and self.loss == 0.0
+            and self.corrupt == 0.0
+            and self.reorder == 0.0
+            and self.bandwidth is None
+            and not self.partitioned
+            and not self.blackhole
+        )
+
 
 class _Pipe:
     """One direction of a virtual connection.
@@ -190,16 +262,38 @@ class _Pipe:
         self._writable = asyncio.Event()
         self._writable.set()
         self._work = asyncio.Event()
-        self._pump_task = asyncio.ensure_future(self._pump())
-        net._track(self._pump_task)
+        # Turbo: no pump task until a segment actually needs the fault
+        # pipeline — clean links deliver synchronously in feed().
+        self._pump_task: Optional[asyncio.Task] = None
+        if not net.turbo:
+            self._ensure_pump()
+
+    def _ensure_pump(self) -> None:
+        if self._pump_task is None:
+            self._pump_task = asyncio.ensure_future(self._pump())
+            self.net._track(self._pump_task)
 
     # -- writer side ---------------------------------------------------
 
     def feed(self, data: bytes) -> None:
         if self.closed or self.broken or not data:
             return
+        if (
+            self.net.turbo
+            and self.in_flight == 0
+            and not self._segments
+            and self.net.link(self.src, self.dst).is_clean()
+        ):
+            # Fast path: nothing queued ahead, nothing scripted on the
+            # link — append straight to the reader's buffer with zero
+            # copies and no pump wakeup.
+            self.buffer.extend(data)
+            self._readable.set()
+            self.net.record("deliver", self.src, self.dst, len(data))
+            return
         self.in_flight += len(data)
         self._segments.append(bytes(data))
+        self._ensure_pump()
         self._work.set()
         if self.in_flight > self.net.link(self.src, self.dst).buffer_bytes:
             self._writable.clear()
@@ -214,10 +308,22 @@ class _Pipe:
 
     def close(self) -> None:
         """Flush pending segments, then deliver EOF."""
-        if not self.closed:
-            self.closed = True
-            self._segments.append(self._EOF)
-            self._work.set()
+        if self.closed:
+            return
+        self.closed = True
+        if self.net.turbo and self.in_flight == 0 and not self._segments:
+            # Queue is empty, so the pump would deliver EOF immediately
+            # anyway (it applies no latency to EOF) — do it inline.
+            if self.net.link(self.src, self.dst).delivers():
+                self.eof = True
+                self._readable.set()
+                self.net.record("eof", self.src, self.dst)
+            else:
+                self.net.record("void-eof", self.src, self.dst)
+            return
+        self._segments.append(self._EOF)
+        self._ensure_pump()
+        self._work.set()
 
     def break_(self) -> None:
         """Hard reset (the other endpoint closed the connection): the
@@ -329,9 +435,18 @@ class _VirtualWriter:
         self._out = out
         self._back = back
         self._peername = peername
+        if out.net.turbo:
+            # Instance attribute, not a class method: senders probe for
+            # ``writelines`` to decide whether to coalesce flushes, and
+            # per-frame writes are what the pinned digests were recorded
+            # under — only turbo runs advertise coalescing.
+            self.writelines = self._writelines
 
     def write(self, data: bytes) -> None:
         self._out.feed(data)
+
+    def _writelines(self, frames) -> None:
+        self._out.feed(b"".join(frames))
 
     async def drain(self) -> None:
         await self._out.drained()
@@ -400,14 +515,28 @@ class VirtualNetwork:
     """
 
     def __init__(self, clock: Optional[VirtualClock] = None, *, seed: int = 0,
-                 default_faults: Optional[LinkFaults] = None) -> None:
+                 default_faults: Optional[LinkFaults] = None,
+                 turbo: bool = False, record_trace: bool = True) -> None:
         self.clock: Clock = clock if clock is not None else VirtualClock()
         self._rng = random.Random(seed)
         self._default = default_faults if default_faults is not None else LinkFaults()
         self._links: dict[tuple[str, str], LinkFaults] = {}
         self._listeners: dict[tuple[str, int], _VirtualListener] = {}
+        #: Ephemeral port counter, shared by binds and dial source
+        #: ports (matching the allocation order the pinned traces were
+        #: recorded under).  Real ports are 16-bit — and PeerLocator
+        #: frames encode them as such — so the counter wraps back to
+        #: 1024 instead of marching past 65535 (a 10k-peer swarm burns
+        #: through the 49152+ range in one join wave).
         self._ports = itertools.count(49152)
         self._tasks: set[asyncio.Task] = set()
+        #: Scale mode (see module docstring): synchronous clean-link
+        #: delivery, lazy pumps, coalesced writes.  Changes interleaving,
+        #: so the pinned chaos digests run with turbo off.
+        self.turbo = turbo
+        #: Trace recording toggle — a 10k-peer round generates millions
+        #: of deliver events; soak runs switch the trace off.
+        self.record_trace = record_trace
         #: (time, kind, *details) tuples — the deterministic event trace.
         self.trace: list[tuple] = []
 
@@ -418,7 +547,8 @@ class VirtualNetwork:
         task.add_done_callback(self._tasks.discard)
 
     def record(self, kind: str, *details) -> None:
-        self.trace.append((round(self.clock.time(), 9), kind, *details))
+        if self.record_trace:
+            self.trace.append((round(self.clock.time(), 9), kind, *details))
 
     def events(self, *kinds: str) -> list[tuple]:
         """Trace entries filtered by event kind."""
@@ -468,9 +598,19 @@ class VirtualNetwork:
     def transport(self, host: str) -> "VirtualTransport":
         return VirtualTransport(self, host)
 
+    def _next_port(self, host: Optional[str] = None) -> int:
+        """The next ephemeral port; skips ports bound on ``host``."""
+        while True:
+            port = next(self._ports)
+            if port > 65535:
+                self._ports = itertools.count(1024)
+                continue
+            if host is None or (host, port) not in self._listeners:
+                return port
+
     def bind(self, host: str, port: int, handler: ConnectionHandler) -> _VirtualListener:
         if port == 0:
-            port = next(self._ports)
+            port = self._next_port(host)
         key = (host, port)
         if key in self._listeners:
             raise OSError(f"virtual address {host}:{port} already in use")
@@ -497,7 +637,7 @@ class VirtualNetwork:
             raise ConnectionRefusedError(f"virtual connect {src}->{dst}:{port}")
         out = _Pipe(self, src, dst)
         back = _Pipe(self, dst, src)
-        src_port = next(self._ports)
+        src_port = self._next_port()
         client_writer = _VirtualWriter(out, back, peername=(dst, port))
         server_writer = _VirtualWriter(back, out, peername=(src, src_port))
         self.record("connect", src, dst, port)

@@ -66,3 +66,18 @@ class TestCommands:
         assert code == 0
         assert "completion" in out
         assert "corrupt decodes: 0" in out
+
+    def test_soak_smoke(self, capsys, tmp_path):
+        trace_path = tmp_path / "soak_trace.json"
+        code = main(["soak", "--peers", "48", "--hours", "0.05",
+                     "--epoch", "30", "--trace", "steady", "--seed", "0",
+                     "--trace-out", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "soak steady n=48" in out
+        assert "epochs=6/6" in out
+        assert trace_path.exists()
+
+    def test_soak_smoke_preset_shrinks_horizon(self):
+        args = build_parser().parse_args(["soak", "--smoke"])
+        assert args.smoke and args.peers == 1000 and args.hours == 2.0
