@@ -68,6 +68,8 @@ SMOKE_POSITIVE = [
     ("net_throughput", "packets_per_s"),
     ("obs_overhead", "slots_per_s"),
     ("obs_overhead", "enqueues_per_s"),
+    ("dataplane_overhead", "ops_per_s"),
+    ("dataplane_overhead", "ops_per_s_inline"),
     ("scaling", "server_ops_per_s_n100"),
     ("scaling", "server_ops_per_s_n1000"),
     ("scaling", "server_ops_per_s_n5000"),
@@ -97,6 +99,10 @@ SMOKE_FLOORS = [
     # the CI floor leaves headroom for noisy shared runners.
     ("obs_overhead", "relative_throughput_slot_loop", 0.95),
     ("obs_overhead", "relative_throughput_sender", 0.95),
+    # PR-10 sans-IO data-plane budget: the engine-dispatched
+    # ingest+pull pair holds >= 0.95 of the pre-refactor inline path
+    # (BENCH_PR10.json records the run).
+    ("dataplane_overhead", "relative_throughput", 0.95),
 ]
 
 

@@ -1,0 +1,96 @@
+"""Events: everything a driver can tell a data-plane engine.
+
+As in :mod:`repro.protocol.events`, an event is a plain immutable
+record narrating something that happened in the outside world — a
+coded packet arrived, a downstream subscriber attached, a clocked slot
+wants an emission.  The engines never look at a socket or a clock;
+connection drivers feed arrival-shaped events (:class:`PacketArrived`,
+:class:`ChildAttached`, :class:`IdlePoll`) and clocked drivers feed
+schedule-shaped ones (:class:`EmitRound`, :class:`PullEmit`).
+
+``child``/``destination`` identities are opaque hashables owned by the
+driver — a ``(node_id, column)`` pair on the live transport, a bare
+node id in the slotted simulator.  The engines only use them to keep
+fan-out order and per-edge policy state.
+
+Unlike the control-plane vocabulary these records ride the per-packet
+hot path (one event per arrival, per pull, per slot edge), so they are
+:class:`~typing.NamedTuple` subclasses rather than frozen dataclasses:
+construction is a C-level tuple fill, with the same field names, repr
+format, equality, and hashability.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, NamedTuple, Optional
+
+__all__ = [
+    "ChildAttached",
+    "ChildDetached",
+    "EmitRound",
+    "Event",
+    "IdlePoll",
+    "PacketArrived",
+    "PullEmit",
+]
+
+
+class PacketArrived(NamedTuple):
+    """An upstream coded packet landed at this node.
+
+    ``now`` is the driver's clock (slot number, virtual seconds, wall
+    seconds) and is only echoed into bookkeeping — the engines are
+    clockless.
+    """
+
+    packet: object
+    now: float = 0.0
+
+
+class ChildAttached(NamedTuple):
+    """A downstream subscriber attached (a child dialed its data
+    connection; a repaired node re-clipped below us).  Triggers the
+    engine's seed-burst and, under an idle-filling policy, a
+    :class:`~repro.dataplane.effects.RequestIdle`."""
+
+    child: Hashable
+    column: Optional[int] = None
+
+
+class ChildDetached(NamedTuple):
+    """The subscriber is gone; forget its fan-out slot and policy
+    state."""
+
+    child: Hashable
+
+
+class IdlePoll(NamedTuple):
+    """The driver's outbound pump for ``child`` has been idle for a
+    keep-alive period and offers to carry a data-bearing packet instead
+    of an empty heartbeat.  Only drivers that honoured a
+    :class:`~repro.dataplane.effects.RequestIdle` ask this."""
+
+    child: Hashable
+
+
+class EmitRound(NamedTuple):
+    """Clocked source cadence: one emission round toward the currently
+    attached ``targets`` (one packet each, one generation per round,
+    scheduled round-robin).  The round counter advances even when no
+    target is attached — generation scheduling is time-based, not
+    demand-based."""
+
+    targets: tuple = ()
+
+
+class PullEmit(NamedTuple):
+    """Clocked per-edge emission: a slotted driver asks for the packet
+    to put on the edge toward ``destination`` this slot.  Subject to
+    the engine's :class:`~repro.dataplane.policy.ForwardPolicy` — an
+    innovation-gated relay may decline (no effect)."""
+
+    destination: Hashable
+
+
+#: Anything ``handle`` accepts.
+Event = object

@@ -1,0 +1,331 @@
+"""The peer side of the RLNC data plane as a sans-IO engine.
+
+:class:`RelayEngine` owns every relay-side data-plane decision exactly
+once — the receive gate, the forward/withhold choice, the recode
+fan-out shape, completion — around a
+:class:`~repro.coding.recoder.Recoder` it is handed (the recoder owns
+the RNG and the RREF buffer; the engine owns the policy and the
+bookkeeping).  Two driver shapes pump it:
+
+* **push** (live transport, virtual net): :class:`ChildAttached` /
+  :class:`ChildDetached` maintain the fan-out list, every
+  :class:`PacketArrived` triggers a recode toward the attached
+  children (subject to the :class:`~repro.dataplane.policy.ForwardPolicy`),
+  and :class:`IdlePoll` backfills gated links;
+* **pull** (slotted simulator): no children are attached, so arrivals
+  only ingest, and the clocked driver requests each edge's emission
+  with :class:`PullEmit` — which the policy may decline via the
+  per-destination innovation-credit translation of arrival gating.
+
+RNG discipline: the engine reproduces the pre-refactor inline paths'
+draw orders exactly — seed-bursts are sequential :meth:`Recoder.emit`
+calls, batched fan-out is one :meth:`Recoder.emit_rows` call sized to
+the child count, pull emissions are one :meth:`Recoder.emit` each —
+so every seeded golden survives the refactor byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Union
+
+from ..coding.recoder import Recoder
+from .effects import Effect, EmitToChildren, Ingested, MarkComplete, RequestIdle
+from .events import (
+    ChildAttached,
+    ChildDetached,
+    Event,
+    IdlePoll,
+    PacketArrived,
+    PullEmit,
+)
+from .policy import ForwardPolicy, resolve_policy
+
+__all__ = ["RelayEngine"]
+
+
+class RelayEngine:
+    """Pure event-in/effect-out relay data-plane state machine.
+
+    Args:
+        recoder: The buffer/codec state.  Owned by the engine; drivers
+            read it (rank, recovered content) but route every data-plane
+            mutation through :meth:`handle`.
+        policy: Forwarding policy name or instance (``"eager"`` /
+            ``"innovative"``).
+        batched: Fan out through :meth:`Recoder.emit_rows` (one gemm
+            per generation, mixtures framed straight off the matrix)
+            instead of per-child :meth:`Recoder.emit` packets.  Both
+            are RNG-stream identical.
+        seed_burst: Packets emitted toward a child the moment it
+            attaches — push drivers always seed at least one (a child
+            of an already-complete parent must not wait for upstream
+            innovation); pull mode uses it as the per-edge
+            unconditional-packet allowance before innovation credit is
+            required.
+    """
+
+    # Fixed attribute layout: the engine is instantiated per node (10k
+    # of them in the churn soak) and its attributes are read on every
+    # packet, so slots buy both memory and hot-path attribute speed.
+    __slots__ = (
+        "recoder", "policy", "batched", "seed_burst",
+        "received", "innovative", "forwarded", "idle_emits", "completed",
+        "_children", "_children_tuple", "_epoch", "_pull_sent",
+        "_pull_gated", "_forward_innovative", "_forward_duplicates",
+        "_rank", "_log", "_flight", "_obs", "_taps",
+    )
+
+    def __init__(
+        self,
+        recoder: Recoder,
+        *,
+        policy: Union[str, ForwardPolicy] = "eager",
+        batched: bool = True,
+        seed_burst: int = 1,
+    ) -> None:
+        if seed_burst < 0:
+            raise ValueError("seed_burst must be >= 0")
+        self.recoder = recoder
+        self.policy = resolve_policy(policy)
+        self.batched = batched
+        self.seed_burst = seed_burst
+        #: data-plane counters — the one authoritative copy (PeerStats,
+        #: RlncBehavior and NodeReport all read these now)
+        self.received = 0
+        self.innovative = 0
+        self.forwarded = 0
+        self.idle_emits = 0
+        self.completed = False
+        #: child -> column, in attach order == fan-out order (mirrors
+        #: the live driver's pump dict; re-attach moves to the end)
+        self._children: dict[Hashable, Optional[int]] = {}
+        # Fan-out tuple rebuilt on (rare) attach/detach so the
+        # per-arrival path never re-materialises the dict's keys.
+        self._children_tuple: tuple = ()
+        #: bumped once per innovative ingest; the pull-mode credit pool
+        #: (push mode forwards once per innovative arrival per child, so
+        #: pull mode lets each edge take ``seed_burst`` + one emission
+        #: per innovative arrival)
+        self._epoch = 0
+        self._pull_sent: dict[Hashable, int] = {}
+        # Policy verdicts hoisted out of the per-packet paths (the
+        # policy is fixed at construction).
+        self._pull_gated = not self.policy.pull_without_credit
+        self._forward_innovative = self.policy.forward_on(True)
+        self._forward_duplicates = self.policy.forward_on(False)
+        # Rank mirrored incrementally (an innovative arrival raises it
+        # by exactly one) so the per-packet Ingested effect never walks
+        # the per-generation decoders.
+        self._rank = recoder.decoder.total_rank
+        # Observer taps (``log``/``flight``/``obs`` properties below).
+        # The recording hooks are collapsed into one tuple so the
+        # untapped hot path pays a single truthiness check per event.
+        self._log = None
+        self._flight = None
+        self._obs = None
+        self._taps: tuple = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def rank(self) -> int:
+        """Degrees of freedom collected so far."""
+        return self._rank
+
+    @property
+    def needed(self) -> int:
+        """Degrees of freedom required for a full decode."""
+        return self.recoder.decoder.total_dof
+
+    @property
+    def children(self) -> tuple:
+        """Attached child identities, in fan-out order."""
+        return self._children_tuple
+
+    # ------------------------------------------------------------------
+    # Observer taps.  Plain-attribute assignment (``engine.log = ...``)
+    # still works — the setters just refresh the collapsed hook tuple
+    # the hot path checks.
+
+    def _retap(self) -> None:
+        hooks = []
+        if self._log is not None:
+            hooks.append(self._log.record)
+        if self._flight is not None:
+            hooks.append(self._flight.record)
+        if self._obs is not None:
+            hooks.append(self._obs.record_step)
+        self._taps = tuple(hooks)
+
+    @property
+    def log(self):
+        """Optional event/effect recorder (conformance and replay)."""
+        return self._log
+
+    @log.setter
+    def log(self, value) -> None:
+        self._log = value
+        self._retap()
+
+    @property
+    def flight(self):
+        """Optional bounded ring of recent steps (duck-typed ``record``)."""
+        return self._flight
+
+    @flight.setter
+    def flight(self, value) -> None:
+        self._flight = value
+        self._retap()
+
+    @property
+    def obs(self):
+        """Optional instrument bundle (duck-typed ``record_step``, e.g.
+        ``obs.DataplaneInstruments``) — the engine never imports
+        ``repro.obs``."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self._obs = value
+        self._retap()
+
+    # ------------------------------------------------------------------
+
+    def handle(self, event: Event) -> list[Effect]:
+        """Advance the state machine by one event."""
+        # Exact-type table dispatch: the event vocabulary is closed (no
+        # driver subclasses an event) and this runs once per packet, so
+        # it beats an isinstance chain on the hot path.
+        handler = _HANDLERS.get(event.__class__)
+        effects = handler(self, event) if handler is not None else []
+        taps = self._taps
+        if taps:
+            for record in taps:
+                record(event, effects)
+        return effects
+
+    # ------------------------------------------------------------------
+    # Receive gate + push-mode fan-out
+
+    def _on_packet(self, event: PacketArrived) -> list[Effect]:
+        packet = event.packet
+        self.received += 1
+        innovative = self.recoder.receive(packet)
+        if innovative:
+            self.innovative += 1
+            self._epoch += 1
+            self._rank += 1
+        # ``_make`` is ``tuple.__new__`` — the per-packet constructions
+        # skip the keyword-handling ``__new__`` wrapper.
+        effects: list[Effect] = [
+            Ingested._make((packet.generation, innovative, self._rank))
+        ]
+        children = self._children_tuple
+        if children and (
+            self._forward_innovative if innovative
+            else self._forward_duplicates
+        ):
+            if self.batched:
+                groups = self.recoder.emit_rows(len(children))
+                emitted = 0
+                for _generation, _rows, positions in groups:
+                    emitted += len(positions)
+                if emitted:
+                    self.forwarded += emitted
+                    effects.append(EmitToChildren._make(
+                        (children, None, tuple(groups))
+                    ))
+            else:
+                packets = []
+                for _ in children:
+                    mixture = self.recoder.emit()
+                    if mixture is None:
+                        break
+                    packets.append(mixture)
+                if packets:
+                    self.forwarded += len(packets)
+                    effects.append(EmitToChildren(
+                        children[:len(packets)], tuple(packets)
+                    ))
+        if (
+            innovative
+            and not self.completed
+            and self.recoder.decoder.is_complete
+        ):
+            self.completed = True
+            effects.append(MarkComplete(self.needed))
+        return effects
+
+    # ------------------------------------------------------------------
+    # Pull-mode (clocked per-edge) emission
+
+    def _on_pull(self, event: PullEmit) -> list[Effect]:
+        destination = event.destination
+        if self._pull_gated:
+            sent = self._pull_sent.get(destination, 0)
+            if sent >= self.seed_burst + self._epoch:
+                return []
+            packet = self.recoder.emit()
+            if packet is None:
+                return []
+            self._pull_sent[destination] = sent + 1
+        else:
+            packet = self.recoder.emit()
+            if packet is None:
+                return []
+        self.forwarded += 1
+        return [EmitToChildren._make(((destination,), (packet,), None))]
+
+    # ------------------------------------------------------------------
+    # Push-mode child lifecycle
+
+    def _on_attach(self, event: ChildAttached) -> list[Effect]:
+        child = event.child
+        # Pop-then-reinsert so a re-attaching child moves to the end of
+        # the fan-out order, exactly as the live driver's pump dict did.
+        self._children.pop(child, None)
+        self._children[child] = event.column
+        self._children_tuple = tuple(self._children)
+        self._pull_sent.pop(child, None)
+        effects: list[Effect] = []
+        if self.policy.wants_idle:
+            effects.append(RequestIdle(child))
+        # Seed the child immediately rather than waiting for the next
+        # upstream arrival (matters when upstream is already complete).
+        packets = []
+        for _ in range(max(1, self.seed_burst)):
+            packet = self.recoder.emit()
+            if packet is None:
+                break
+            packets.append(packet)
+        if packets:
+            self.forwarded += len(packets)
+            effects.append(EmitToChildren(
+                (child,) * len(packets), packets=tuple(packets)
+            ))
+        return effects
+
+    def _on_detach(self, event: ChildDetached) -> list[Effect]:
+        self._children.pop(event.child, None)
+        self._children_tuple = tuple(self._children)
+        self._pull_sent.pop(event.child, None)
+        return []
+
+    def _on_idle(self, event: IdlePoll) -> list[Effect]:
+        # Idle fills are keep-alive substitutes, not fan-out: they are
+        # counted separately and never in ``forwarded``.
+        packet = self.recoder.emit()
+        if packet is None:
+            return []
+        self.idle_emits += 1
+        return [EmitToChildren((event.child,), packets=(packet,))]
+
+
+_HANDLERS = {
+    PacketArrived: RelayEngine._on_packet,
+    PullEmit: RelayEngine._on_pull,
+    ChildAttached: RelayEngine._on_attach,
+    ChildDetached: RelayEngine._on_detach,
+    IdlePoll: RelayEngine._on_idle,
+}

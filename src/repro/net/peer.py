@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import asyncio
 import logging
-from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
@@ -39,7 +38,19 @@ from ..coding.generation import GenerationParams
 from ..coding.packet import CodedPacket
 from ..coding.recoder import Recoder
 from ..core.matrix import SERVER
+from ..dataplane import (
+    ChildAttached,
+    ChildDetached,
+    EmitToChildren,
+    IdlePoll,
+    MarkComplete,
+    PacketArrived,
+    RelayEngine,
+    RequestIdle,
+    resolve_policy,
+)
 from ..obs import (
+    DataplaneInstruments,
     FlightRecorder,
     PeerEngineInstruments,
     Registry,
@@ -79,17 +90,48 @@ from .transport import AsyncioTransport, ByteStreamWriter, Listener, Transport
 __all__ = ["PeerNode", "PeerStats", "ReconnectBackoff"]
 
 
-@dataclass
 class PeerStats:
-    """Counters the loopback harness folds into its RunReport."""
+    """Counters the loopback harness folds into its RunReport.
 
-    received: int = 0
-    innovative: int = 0
-    forwarded: int = 0
-    reconnects: int = 0
-    complaints: int = 0
-    keepalives_seen: int = 0
-    crc_failures: int = 0
+    The data-plane counters (``received``/``innovative``/``forwarded``/
+    ``idle_emits``) are read-through views over the peer's
+    :class:`~repro.dataplane.RelayEngine` — the engine's bookkeeping is
+    the one authoritative copy since the dataplane unification (they
+    read 0 until the join grant creates the engine).  The transport
+    counters stay plain driver-owned fields.
+    """
+
+    def __init__(self) -> None:
+        self._dataplane: Optional[RelayEngine] = None
+        self.reconnects = 0
+        self.complaints = 0
+        self.keepalives_seen = 0
+        self.crc_failures = 0
+
+    @property
+    def received(self) -> int:
+        return self._dataplane.received if self._dataplane else 0
+
+    @property
+    def innovative(self) -> int:
+        return self._dataplane.innovative if self._dataplane else 0
+
+    @property
+    def forwarded(self) -> int:
+        return self._dataplane.forwarded if self._dataplane else 0
+
+    @property
+    def idle_emits(self) -> int:
+        return self._dataplane.idle_emits if self._dataplane else 0
+
+    def __repr__(self) -> str:  # noqa: D105
+        return (
+            f"PeerStats(received={self.received}, "
+            f"innovative={self.innovative}, forwarded={self.forwarded}, "
+            f"reconnects={self.reconnects}, complaints={self.complaints}, "
+            f"keepalives_seen={self.keepalives_seen}, "
+            f"crc_failures={self.crc_failures})"
+        )
 
 
 class PeerNode:
@@ -143,8 +185,7 @@ class PeerNode:
         forward_policy: str = "eager",
         seed_burst: int = 1,
     ) -> None:
-        if forward_policy not in ("eager", "innovative"):
-            raise ValueError(f"unknown forward_policy {forward_policy!r}")
+        resolve_policy(forward_policy)  # fail fast on a bad spelling
         if seed_burst < 0:
             raise ValueError("seed_burst must be >= 0")
         self.transport: Transport = (
@@ -173,6 +214,9 @@ class PeerNode:
         self.stats = PeerStats()
         self.completed = False
         self.recoder: Optional[Recoder] = None
+        #: The sans-IO data-plane core (created with the recoder once
+        #: the join grant fixes the coding geometry).
+        self.dataplane: Optional[RelayEngine] = None
         self.session: Optional[SessionInfo] = None
         self._rng = np.random.default_rng(seed)
         #: node id -> (host, port), learned from PeerLocator pushes
@@ -260,6 +304,23 @@ class PeerNode:
             self._rng,
             node_id=grant.node_id,
         )
+        self.dataplane = RelayEngine(
+            self.recoder,
+            policy=self.forward_policy,
+            batched=self.batched,
+            seed_burst=self.seed_burst,
+        )
+        self.stats._dataplane = self.dataplane
+        DataplaneInstruments(self.registry).attach(
+            self.dataplane, self.registry
+        )
+        # A child that dialed before the grant arrived (possible only
+        # under exotic orderings) is attached now so the fan-out list
+        # matches the live pumps.
+        for key in list(self._children):
+            self._pump_dataplane(self.dataplane.handle(
+                ChildAttached(key, column=key[1])
+            ))
         self._control_task = asyncio.ensure_future(self._control_loop(reader))
         self._dispatch_control(grant)
 
@@ -512,12 +573,21 @@ class PeerNode:
         old = self._children.pop(key, None)
         if old is not None:
             old.close()
+        # Tell the engine first: it owns the fan-out order, decides the
+        # seed-burst (its emit() draws land exactly where the inline
+        # burst's did — pump construction draws no RNG), and asks for
+        # idle data-fills via RequestIdle under gated policies.
+        effects = (
+            self.dataplane.handle(ChildAttached(key, column=hello.column))
+            if self.dataplane is not None else []
+        )
+        wants_idle = any(isinstance(e, RequestIdle) for e in effects)
         sender = PacketSender(
             writer, column=hello.column, sender_id=self.node_id or -1,
             limit=self.queue_limit, keepalive_interval=self.keepalive_interval,
             clock=self.clock, coalesce=self.batched,
             idle_packet=(
-                self._emit_idle if self.forward_policy == "innovative" else None
+                (lambda k=key: self._emit_idle(k)) if wants_idle else None
             ),
             logger=self.log,
         )
@@ -533,69 +603,57 @@ class PeerNode:
                 if (pump := self._children.get(k)) is not None else 0
             ),
         )
-        # Seed the child immediately rather than waiting for our next
-        # upstream arrival (matters when upstream is already complete).
-        if self.recoder is not None:
-            for _ in range(max(1, self.seed_burst)):
-                packet = self.recoder.emit()
-                if packet is None:
-                    break
-                sender.enqueue(packet)
-                self.stats.forwarded += 1
+        self._pump_dataplane(effects)
         try:
             await sender.run()
         finally:
             if self._children.get(key) is sender:
                 del self._children[key]
+                if self.dataplane is not None:
+                    self.dataplane.handle(ChildDetached(key))
 
-    def _emit_idle(self) -> Optional[CodedPacket]:
+    def _emit_idle(self, key: tuple[int, int]) -> Optional[CodedPacket]:
         """A fresh mixture for an idle child link (swarm scale mode)."""
-        if self.recoder is None:
+        if self.dataplane is None:
             return None
-        return self.recoder.emit()
+        for effect in self.dataplane.handle(IdlePoll(key)):
+            if isinstance(effect, EmitToChildren):
+                return effect.packets[0]
+        return None
 
     def _on_packet(self, packet: CodedPacket) -> None:
         """Ingest one upstream packet and fan fresh mixtures downstream."""
-        self.stats.received += 1
-        innovative = self.recoder.receive(packet)
-        if innovative:
-            self.stats.innovative += 1
-        if not innovative and self.forward_policy == "innovative":
-            # Scale mode: a non-innovative arrival adds nothing our
-            # children haven't already been sent — fanning it out anyway
-            # is what turns depth-D chains into 2^D packet storms on a
-            # zero-latency network.  (Idle keep-alive packets cover the
-            # rare child left short by a dependent mixture.)
-            children = []
-        else:
-            children = list(self._children.values())
-        if not children:
-            pass
-        elif self.batched:
-            # Every child still gets its own fresh mixture (the paper's
-            # recode-and-forward), but the GF mixing collapses to one
-            # gemm per generation and the mixtures go straight from the
-            # gemm output to wire frames — no intermediate packet
-            # objects, each frame serialised exactly once.
-            groups = self.recoder.emit_rows(len(children))
-            frames = encode_mixture_frames(
-                groups, self.recoder.params.generation_size,
-                origin=self.recoder.node_id,
-            )
-            for sender, frame in zip(children, frames):
-                sender.enqueue_frame(frame)
-                self.stats.forwarded += 1
-        else:
-            for sender in children:
-                mixture = self.recoder.emit()
-                if mixture is None:
-                    break
-                sender.enqueue(mixture)
-                self.stats.forwarded += 1
-        if not self.completed and self.recoder.decoder.is_complete:
-            self.completed = True
-            if self.on_complete is not None:
-                self.on_complete(self)
+        self._pump_dataplane(self.dataplane.handle(PacketArrived(packet)))
+
+    def _pump_dataplane(self, effects) -> None:
+        """Carry out the data-plane engine's effects on the live pumps."""
+        for effect in effects:
+            if isinstance(effect, EmitToChildren):
+                if effect.rows is not None:
+                    # The batched fused path: mixtures go straight from
+                    # the recode gemm output to wire frames — no
+                    # intermediate packet objects, each frame serialised
+                    # exactly once.
+                    frames = encode_mixture_frames(
+                        effect.rows, self.recoder.params.generation_size,
+                        origin=self.recoder.node_id,
+                    )
+                    for key, frame in zip(effect.children, frames):
+                        sender = self._children.get(key)
+                        if sender is not None:
+                            sender.enqueue_frame(frame)
+                else:
+                    for key, mixture in zip(effect.children, effect.packets):
+                        sender = self._children.get(key)
+                        if sender is not None:
+                            sender.enqueue(mixture)
+            elif isinstance(effect, MarkComplete):
+                self.completed = True
+                if self.on_complete is not None:
+                    self.on_complete(self)
+            # Ingested and RequestIdle are bookkeeping: the former is
+            # trace/observability-only, the latter is honoured at pump
+            # construction in _handle_child.
 
     #: All child pumps currently attached (diagnostics / harness).
     @property

@@ -39,7 +39,9 @@ from ..coding.encoder import SourceEncoder
 from ..coding.generation import GenerationParams
 from ..core.matrix import SERVER
 from ..core.server import CoordinationServer
+from ..dataplane import EmitRound, EmitToChildren, SourceEngine
 from ..obs import (
+    DataplaneInstruments,
     FlightRecorder,
     Registry,
     ServerEngineInstruments,
@@ -75,17 +77,39 @@ from .transport import AsyncioTransport, ByteStreamWriter, Listener, Transport
 __all__ = ["ServerNode", "ServerStats"]
 
 
-@dataclass
 class ServerStats:
-    """Counters the loopback harness folds into its RunReport."""
+    """Counters the loopback harness folds into its RunReport.
 
-    rounds: int = 0
-    packets_sent: int = 0
-    repairs: int = 0
-    probes: int = 0
-    joins: int = 0
-    leaves: int = 0
-    crashes: int = 0
+    ``rounds`` and ``packets_sent`` are read-through views over the
+    server's :class:`~repro.dataplane.SourceEngine` — the engine's
+    bookkeeping is the one authoritative copy since the dataplane
+    unification.  The membership counters stay plain driver-owned
+    fields.
+    """
+
+    def __init__(self, dataplane: SourceEngine) -> None:
+        self._dataplane = dataplane
+        self.repairs = 0
+        self.probes = 0
+        self.joins = 0
+        self.leaves = 0
+        self.crashes = 0
+
+    @property
+    def rounds(self) -> int:
+        return self._dataplane.rounds
+
+    @property
+    def packets_sent(self) -> int:
+        return self._dataplane.packets_sent
+
+    def __repr__(self) -> str:  # noqa: D105
+        return (
+            f"ServerStats(rounds={self.rounds}, "
+            f"packets_sent={self.packets_sent}, repairs={self.repairs}, "
+            f"probes={self.probes}, joins={self.joins}, "
+            f"leaves={self.leaves}, crashes={self.crashes})"
+        )
 
 
 @dataclass
@@ -151,6 +175,9 @@ class ServerNode:
             probe_timeout=probe_timeout,
         )
         self.encoder = SourceEncoder(content, params, rng)
+        #: The sans-IO data-plane core (generation scheduling + per-round
+        #: emission; the stream loop just pumps its effects).
+        self.dataplane = SourceEngine(self.encoder, batched=batched)
         self.params = params
         self.content_length = len(content)
         self.host = host
@@ -160,7 +187,7 @@ class ServerNode:
         self.keepalive_interval = keepalive_interval
         self.probe_timeout = probe_timeout
         self.batched = batched
-        self.stats = ServerStats()
+        self.stats = ServerStats(self.dataplane)
         self._peers: dict[int, _PeerHandle] = {}
         self._column_senders: dict[int, PacketSender] = {}
         #: One entry per data connection ever served (stats outlive pumps).
@@ -175,6 +202,9 @@ class ServerNode:
         #: hot paths keep bumping plain dataclass fields.
         self.registry = Registry("server")
         ServerEngineInstruments(self.registry).attach(self.engine, self.registry)
+        DataplaneInstruments(self.registry).attach(
+            self.dataplane, self.registry
+        )
         self.engine.flight = FlightRecorder()
         bind_fields(
             self.registry, self.stats,
@@ -251,33 +281,36 @@ class ServerNode:
     async def _stream_loop(self) -> None:
         """One emission round per interval: a packet per attached column.
 
-        Generations are served round-robin so every generation keeps
-        flowing regardless of which columns are attached.
+        The :class:`~repro.dataplane.SourceEngine` owns the schedule —
+        round-robin generations so every generation keeps flowing
+        regardless of which columns are attached, batched or scalar
+        emission (RNG-stream identical) — and this loop only translates
+        its effects onto the column pumps.
         """
-        generation_count = self.encoder.generation_count
         try:
             while self._running:
                 await self.clock.sleep(self.send_interval)
-                generation = self.stats.rounds % generation_count
-                self.stats.rounds += 1
-                senders = [
-                    s for s in list(self._column_senders.values())
+                attached = [
+                    (column, s)
+                    for column, s in list(self._column_senders.items())
                     if not s.closed
                 ]
-                if not senders:
-                    continue
-                if self.batched:
-                    # One mixing gemm for the whole round, one pooled
-                    # serialisation pass, immutable frames shared with
-                    # the pumps.
-                    packets = self.encoder.emit_batch(len(senders), generation)
-                    for sender, frame in zip(senders, encode_data_frames(packets)):
-                        sender.enqueue_frame(frame)
-                        self.stats.packets_sent += 1
-                else:
-                    for sender in senders:
-                        sender.enqueue(self.encoder.emit(generation))
-                        self.stats.packets_sent += 1
+                for effect in self.dataplane.handle(EmitRound(
+                    targets=tuple(column for column, _ in attached)
+                )):
+                    if not isinstance(effect, EmitToChildren):
+                        continue
+                    senders = [s for _, s in attached]
+                    if self.batched:
+                        # One mixing gemm for the whole round, one pooled
+                        # serialisation pass, immutable frames shared
+                        # with the pumps.
+                        frames = encode_data_frames(effect.packets)
+                        for sender, frame in zip(senders, frames):
+                            sender.enqueue_frame(frame)
+                    else:
+                        for sender, packet in zip(senders, effect.packets):
+                            sender.enqueue(packet)
         except asyncio.CancelledError:
             pass
 

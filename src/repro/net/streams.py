@@ -20,7 +20,7 @@ loss/corruption injection is aligned to individual write calls — get
 one ``write`` per frame, preserving per-frame delivery traces
 bit-for-bit.
 
-The pump also emits a :class:`~repro.protocol_sim.messages.KeepAlive`
+The pump also emits a :class:`~repro.protocol.messages.KeepAlive`
 control frame when the data flow pauses, so an idle-but-healthy thread
 is distinguishable from a dead parent (the paper's silence-based
 failure detection, run over real sockets).

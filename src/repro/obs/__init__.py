@@ -24,6 +24,7 @@ from .export import (
 )
 from .flight import FlightRecorder, format_dump
 from .instruments import (
+    DataplaneInstruments,
     PeerEngineInstruments,
     ServerEngineInstruments,
     bind_fields,
@@ -41,6 +42,7 @@ from .registry import (
 
 __all__ = [
     "Counter",
+    "DataplaneInstruments",
     "FlightRecorder",
     "Gauge",
     "Histogram",

@@ -21,6 +21,12 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+from ..dataplane.effects import (
+    EmitToChildren,
+    Ingested,
+    MarkComplete,
+)
+from ..dataplane.events import IdlePoll
 from ..protocol.effects import (
     Admitted,
     Backoff,
@@ -41,6 +47,7 @@ from ..protocol.messages import (
 from .registry import Registry
 
 __all__ = [
+    "DataplaneInstruments",
     "PeerEngineInstruments",
     "ServerEngineInstruments",
     "bind_fields",
@@ -176,6 +183,80 @@ class ServerEngineInstruments:
                 self.episodes_opened.inc()
             elif isinstance(effect, Send) and isinstance(effect.message, Probe):
                 self.probes_sent.inc()
+
+
+class DataplaneInstruments:
+    """Data-plane counters for one :class:`~repro.dataplane.RelayEngine`
+    or :class:`~repro.dataplane.SourceEngine`.
+
+    The received/innovative/forwarded classification that used to be
+    hand-maintained in ``PeerStats`` and ``RlncBehavior`` happens here,
+    once, off the engine's event/effect stream: ``Ingested`` effects
+    are arrivals through the receive gate, ``EmitToChildren`` carries
+    its mixture count (idle fills — emissions answering an ``IdlePoll``
+    — are classified separately), ``MarkComplete`` is the decode.
+    """
+
+    __slots__ = (
+        "events", "effects", "packets_in", "innovative_in",
+        "mixtures_out", "idle_fills", "completions",
+    )
+
+    def __init__(self, registry: Registry, prefix: str = "dataplane") -> None:
+        counter = registry.counter
+        self.events = counter(f"{prefix}.events", "data-plane events handled")
+        self.effects = counter(f"{prefix}.effects", "data-plane effects emitted")
+        self.packets_in = counter(
+            f"{prefix}.packets_in", "packets through the receive gate",
+        )
+        self.innovative_in = counter(
+            f"{prefix}.innovative_in", "rank-raising arrivals",
+        )
+        self.mixtures_out = counter(
+            f"{prefix}.mixtures_out", "fresh mixtures emitted toward children",
+        )
+        self.idle_fills = counter(
+            f"{prefix}.idle_fills", "data-bearing keep-alive substitutes",
+        )
+        self.completions = counter(
+            f"{prefix}.completions", "full decodes marked",
+        )
+
+    def attach(self, engine, registry: Registry,
+               prefix: str = "dataplane") -> "DataplaneInstruments":
+        engine.obs = self
+        if hasattr(engine, "rank"):
+            registry.gauge(
+                f"{prefix}.rank", "degrees of freedom collected",
+                fn=lambda: engine.rank,
+            )
+            registry.gauge(
+                f"{prefix}.children", "children in the fan-out list",
+                fn=lambda: len(engine.children),
+            )
+        else:
+            registry.gauge(
+                f"{prefix}.rounds", "emission rounds scheduled",
+                fn=lambda: engine.rounds,
+            )
+        return self
+
+    def record_step(self, event, effects) -> None:
+        self.events.inc()
+        self.effects.inc(len(effects))
+        idle = isinstance(event, IdlePoll)
+        for effect in effects:
+            if isinstance(effect, Ingested):
+                self.packets_in.inc()
+                if effect.innovative:
+                    self.innovative_in.inc()
+            elif isinstance(effect, EmitToChildren):
+                if idle:
+                    self.idle_fills.inc(effect.count)
+                else:
+                    self.mixtures_out.inc(effect.count)
+            elif isinstance(effect, MarkComplete):
+                self.completions.inc()
 
 
 class PeerEngineInstruments:

@@ -8,9 +8,7 @@ detection/repair *latencies*, spurious-complaint suppression, and the
 server's message/byte load.
 """
 
-from .actors import PeerActor, RepairRecord, ServerActor
-from .harness import ProtocolConfig, ProtocolSimulation
-from .messages import (
+from ..protocol.messages import (
     SERVER_ADDRESS,
     AttachChild,
     ComplaintMsg,
@@ -26,6 +24,8 @@ from .messages import (
     ProbeAck,
     SetParent,
 )
+from .actors import PeerActor, RepairRecord, ServerActor
+from .harness import ProtocolConfig, ProtocolSimulation
 from .network import MessageNetwork, NetworkStats
 
 __all__ = [

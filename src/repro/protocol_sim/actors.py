@@ -32,8 +32,8 @@ from ..protocol import (
     StartTimer,
     TimerFired,
 )
+from ..protocol.messages import SERVER_ADDRESS, JoinRequest
 from ..sim.engine import Simulator
-from .messages import SERVER_ADDRESS, JoinRequest
 from .network import MessageNetwork
 
 

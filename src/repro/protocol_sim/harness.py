@@ -14,9 +14,9 @@ from typing import Optional
 import numpy as np
 
 from ..core.server import CoordinationServer
+from ..protocol.messages import SERVER_ADDRESS, JoinRequest, LeaveRequest
 from ..sim.engine import Simulator
 from .actors import PeerActor, RepairRecord, ServerActor
-from .messages import SERVER_ADDRESS, JoinRequest, LeaveRequest
 from .network import MessageNetwork
 
 
@@ -108,14 +108,14 @@ class ProtocolSimulation:
 
     def congest(self, node_id: int) -> None:
         """The peer reports congestion and asks to shed one thread."""
-        from .messages import CongestionDrop
+        from ..protocol.messages import CongestionDrop
 
         self.network.send(node_id, SERVER_ADDRESS,
                           CongestionDrop(node_id=node_id))
 
     def uncongest(self, node_id: int) -> None:
         """The peer reports recovery and asks for a thread back."""
-        from .messages import CongestionRestore
+        from ..protocol.messages import CongestionRestore
 
         self.network.send(node_id, SERVER_ADDRESS,
                           CongestionRestore(node_id=node_id))

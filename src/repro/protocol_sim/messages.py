@@ -1,8 +1,14 @@
 """Compatibility shim: the protocol messages moved to
 :mod:`repro.protocol.messages` (the sans-IO protocol core shares them
-across the simulator, virtual-net and live-transport drivers).  Import
-from there in new code; this module re-exports the full vocabulary so
-existing imports keep working.
+across the simulator, virtual-net and live-transport drivers).
+
+.. deprecated:: PR 7
+    Import from :mod:`repro.protocol.messages` in new code.  This
+    module only re-exports that vocabulary so pre-PR-7 imports keep
+    working; nothing in the repo imports through it any more
+    (``tests/test_protocol_sim.py`` pins that the re-exports stay the
+    identical class objects), and it will be dropped once external
+    callers have had a release to migrate.
 """
 
 from ..protocol.messages import (  # noqa: F401

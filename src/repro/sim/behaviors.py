@@ -17,7 +17,7 @@ payload lands.  Three families cover the repo:
 from __future__ import annotations
 
 import enum
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -25,6 +25,17 @@ from ..coding.encoder import SourceEncoder
 from ..coding.generation import GenerationParams
 from ..coding.packet import CodedPacket
 from ..coding.recoder import Recoder
+from ..dataplane import (
+    EmitToChildren,
+    ForwardPolicy,
+    IdlePoll,
+    MarkComplete,
+    PacketArrived,
+    PullEmit,
+    RelayEngine,
+    SourceEngine,
+    resolve_policy,
+)
 from ..gf.tables import FIELD_SIZE
 from .report import NodeReport
 from .rng import RngStreams
@@ -48,6 +59,14 @@ class NodeRole(enum.Enum):
 class RlncBehavior:
     """RLNC at every node: fresh random mixtures on every outgoing edge.
 
+    Since the data-plane unification this class is a pull-mode driver of
+    :class:`~repro.dataplane.RelayEngine` (one per contacted node) and
+    one :class:`~repro.dataplane.SourceEngine`: the engines own the
+    receive gate, the emit decisions, and the received/innovative/
+    completion bookkeeping; the behaviour keeps only what the engines
+    cannot know — role dispatch (attackers bypass the honest data
+    plane) and the slot at which each completion landed.
+
     Args:
         content: Bytes the server broadcasts.
         params: Generation geometry.
@@ -55,6 +74,22 @@ class RlncBehavior:
             the ``encoder``, ``node-<id>``, and ``jammer-<id>`` streams).
         roles: Optional ``node_id -> NodeRole`` for attack experiments.
         systematic: Emit original packets first from the server.
+        forward_policy: ``"eager"`` (default) emits a fresh mixture on
+            every outgoing edge every slot — the paper's constant
+            per-thread flow.  ``"innovative"`` spends one emission per
+            edge per rank raise (plus ``seed_burst`` unconditional
+            packets), the engine-level translation of the live
+            transport's innovation-gated fan-out.
+        seed_burst: Unconditional packets per edge before the
+            ``innovative`` policy demands fresh innovation credit.
+        idle_every: Idle-fill period, in slots, for credit-gated edges:
+            after this many consecutive declined pulls on one edge the
+            behaviour pumps an :class:`~repro.dataplane.IdlePoll` and
+            sends the returned mixture anyway — the slotted translation
+            of the live transport honouring
+            :class:`~repro.dataplane.RequestIdle` with data-bearing
+            keep-alives (a gated child must not starve on a
+            dependent-mixture tail).
     """
 
     def __init__(
@@ -65,30 +100,39 @@ class RlncBehavior:
         *,
         roles: Optional[dict[int, NodeRole]] = None,
         systematic: bool = False,
+        forward_policy: Union[str, ForwardPolicy] = "eager",
+        seed_burst: int = 1,
+        idle_every: int = 4,
     ) -> None:
         self.content = content
         self.params = params
         self.streams = streams
         self.roles = dict(roles or {})
+        self.forward_policy = resolve_policy(forward_policy)
+        self.seed_burst = seed_burst
+        self.idle_every = idle_every
         self.encoder = SourceEncoder(
             content, params, streams.get("encoder"), systematic_first=systematic
         )
         self.generation_count = self.encoder.generation_count
+        self.source = SourceEngine(self.encoder)
         self._recoders: dict[int, Recoder] = {}
-        self._received: dict[int, int] = {}
-        self._innovative: dict[int, int] = {}
+        self._engines: dict[int, RelayEngine] = {}
         self._completed_at: dict[int, int] = {}
         self._jammer_rngs: dict[int, np.random.Generator] = {}
+        #: (sender, destination) -> consecutive declined pulls, for the
+        #: idle-fill cadence on credit-gated edges
+        self._idle_silence: dict[tuple[int, int], int] = {}
 
     # -- roles and codec state -----------------------------------------
 
     def role_of(self, node_id: int) -> NodeRole:
         return self.roles.get(node_id, NodeRole.HONEST)
 
-    def recoder_of(self, node_id: int) -> Recoder:
-        """The node's buffer/codec state, created on first contact."""
-        recoder = self._recoders.get(node_id)
-        if recoder is None:
+    def engine_of(self, node_id: int) -> RelayEngine:
+        """The node's data-plane engine, created on first contact."""
+        engine = self._engines.get(node_id)
+        if engine is None:
             recoder = Recoder(
                 self.params,
                 self.generation_count,
@@ -96,9 +140,28 @@ class RlncBehavior:
                 node_id=node_id,
             )
             self._recoders[node_id] = recoder
-            self._received[node_id] = 0
-            self._innovative[node_id] = 0
-        return recoder
+            engine = RelayEngine(
+                recoder,
+                policy=self.forward_policy,
+                batched=False,
+                seed_burst=self.seed_burst,
+            )
+            self._engines[node_id] = engine
+        return engine
+
+    def recoder_of(self, node_id: int) -> Recoder:
+        """The node's buffer/codec state, created on first contact."""
+        return self.engine_of(node_id).recoder
+
+    @property
+    def _received(self) -> dict[int, int]:
+        """``node -> packets ingested`` (a view over the engines)."""
+        return {nid: e.received for nid, e in self._engines.items()}
+
+    @property
+    def _innovative(self) -> dict[int, int]:
+        """``node -> rank-raising packets`` (a view over the engines)."""
+        return {nid: e.innovative for nid, e in self._engines.items()}
 
     def _jammer_rng(self, node_id: int) -> np.random.Generator:
         """Per-node jammer stream, cached off the per-emission path."""
@@ -127,29 +190,45 @@ class RlncBehavior:
     # -- runtime protocol ----------------------------------------------
 
     def server_emit(self, destination: int) -> CodedPacket:
-        return self.encoder.emit()
+        for effect in self.source.handle(PullEmit(destination)):
+            if isinstance(effect, EmitToChildren):
+                return effect.packets[0]
+        return None
 
     def emit(self, sender: int, destination: int) -> Optional[CodedPacket]:
-        recoder = self.recoder_of(sender)
+        engine = self.engine_of(sender)
         role = self.role_of(sender)
         if role is NodeRole.HONEST:
-            return recoder.emit()
+            for effect in engine.handle(PullEmit(destination)):
+                if isinstance(effect, EmitToChildren):
+                    if engine.policy.wants_idle:
+                        self._idle_silence.pop((sender, destination), None)
+                    return effect.packets[0]
+            if engine.policy.wants_idle:
+                # Declined for lack of credit: honour RequestIdle the
+                # way the live transport does — a data-bearing fill
+                # every ``idle_every`` silent slots on this edge.
+                edge = (sender, destination)
+                silent = self._idle_silence.get(edge, 0) + 1
+                if silent >= self.idle_every:
+                    self._idle_silence[edge] = 0
+                    for effect in engine.handle(IdlePoll(destination)):
+                        if isinstance(effect, EmitToChildren):
+                            return effect.packets[0]
+                else:
+                    self._idle_silence[edge] = silent
+            return None
         if role is NodeRole.JAMMER:
             rng = self._jammer_rng(sender)
             generation = int(rng.integers(0, self.generation_count))
             return self._jam_packet(sender, generation)
-        return recoder.emit_trivial()
+        return engine.recoder.emit_trivial()
 
     def deliver(self, destination: int, payload: CodedPacket, slot: int) -> None:
-        recoder = self.recoder_of(destination)
-        was_innovative = recoder.receive(payload)
-        self._received[destination] += 1
-        if was_innovative:
-            self._innovative[destination] += 1
-            if (
-                destination not in self._completed_at
-                and recoder.decoder.is_complete
-            ):
+        for effect in self.engine_of(destination).handle(
+            PacketArrived(payload, now=slot)
+        ):
+            if isinstance(effect, MarkComplete):
                 self._completed_at[destination] = slot
 
     def completed_at(self) -> dict[int, int]:
@@ -157,8 +236,8 @@ class RlncBehavior:
 
     def node_report(self, node_id: int) -> NodeReport:
         needed = self.generation_count * self.params.generation_size
-        recoder = self._recoders.get(node_id)
-        if recoder is None:
+        engine = self._engines.get(node_id)
+        if engine is None:
             return NodeReport(node_id=node_id, rank=0, needed=needed,
                               completed_at=None, received=0, innovative=0,
                               decoded_ok=None)
@@ -167,17 +246,18 @@ class RlncBehavior:
         if completed is not None:
             try:
                 decoded_ok = (
-                    recoder.decoder.recover(len(self.content)) == self.content
+                    engine.recoder.decoder.recover(len(self.content))
+                    == self.content
                 )
             except Exception:
                 decoded_ok = False
         return NodeReport(
             node_id=node_id,
-            rank=recoder.decoder.total_rank,
+            rank=engine.rank,
             needed=needed,
             completed_at=completed,
-            received=self._received.get(node_id, 0),
-            innovative=self._innovative.get(node_id, 0),
+            received=engine.received,
+            innovative=engine.innovative,
             decoded_ok=decoded_ok,
         )
 

@@ -12,7 +12,7 @@ from repro.net.control import (
     decode_control,
     encode_control,
 )
-from repro.protocol_sim.messages import (
+from repro.protocol.messages import (
     AttachChild,
     ComplaintMsg,
     CongestionDrop,

@@ -18,7 +18,7 @@ from repro.net.framing import (
     read_message,
 )
 from repro.net.streams import PacketSender
-from repro.protocol_sim.messages import KeepAlive, SetParent
+from repro.protocol.messages import KeepAlive, SetParent
 
 
 def _packet(generation=0, origin=3):
@@ -170,7 +170,7 @@ from hypothesis import given, settings, strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.net.control import decode_control
-from repro.protocol_sim.messages import ComplaintMsg, JoinGrant, Probe
+from repro.protocol.messages import ComplaintMsg, JoinGrant, Probe
 
 _INT32 = st.integers(-(2**31), 2**31 - 1)
 _UINT16 = st.integers(0, 2**16 - 1)

@@ -24,6 +24,10 @@ class TestProtocolLayering:
         violations = check_layering.check_obs_package()
         assert violations == []
 
+    def test_dataplane_package_is_sans_io(self):
+        violations = check_layering.check_dataplane_package()
+        assert violations == []
+
     def test_obs_http_is_the_only_exempt_module(self):
         """The I/O escape hatch stays exactly one module wide."""
         assert check_layering.OBS_IO_MODULES == {"http.py"}

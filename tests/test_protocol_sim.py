@@ -126,9 +126,9 @@ class TestJoinLeave:
     def test_leave_of_unknown_is_ignored(self):
         sim = make_sim()
         sim.grow(5, settle=2.0)
-        sim.network.send(999, SERVER_ADDRESS, __import__(
-            "repro.protocol_sim.messages", fromlist=["LeaveRequest"]
-        ).LeaveRequest(node_id=999))
+        from repro.protocol.messages import LeaveRequest
+
+        sim.network.send(999, SERVER_ADDRESS, LeaveRequest(node_id=999))
         sim.run(1.0)
         assert sim.core.population == 5
 
@@ -166,7 +166,7 @@ class TestFailureDetectionAndRepair:
         assert 0 < latency <= upper
 
     def test_alive_node_survives_spurious_complaint(self):
-        from repro.protocol_sim.messages import ComplaintMsg
+        from repro.protocol.messages import ComplaintMsg
 
         sim = make_sim()
         sim.grow(15, settle=3.0)
@@ -269,3 +269,15 @@ class TestActorCongestion:
         sim.congest(node)
         sim.run(1.0)  # must not raise; message ignored
         assert node not in sim.core.matrix
+
+
+class TestMessagesCompatShim:
+    def test_shim_reexports_the_protocol_vocabulary(self):
+        """``repro.protocol_sim.messages`` is a deprecated alias for
+        ``repro.protocol.messages``: same class objects, so isinstance
+        checks agree across old and new import paths."""
+        import repro.protocol.messages as canonical
+        import repro.protocol_sim.messages as shim
+
+        for name in shim.__all__:
+            assert getattr(shim, name) is getattr(canonical, name)

@@ -19,6 +19,11 @@ imports.  (``obs`` may import ``repro.protocol`` — instruments classify
 engine effects — but never the reverse; engines reach obs only through
 duck-typed attributes.)
 
+``repro.dataplane`` — the data-plane twin of the protocol core — is
+held to the identical bans: it may import the pure coding layer (the
+recoder/encoder it wraps) and the protocol core's trace vocabulary, but
+never an event loop or a driver package.
+
 Run from the repo root (CI's lint job does, and a tier-1 test wraps
 it):
 
@@ -34,6 +39,7 @@ from pathlib import Path
 _REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
 PROTOCOL_DIR = _REPRO / "protocol"
 OBS_DIR = _REPRO / "obs"
+DATAPLANE_DIR = _REPRO / "dataplane"
 
 #: Modules of ``repro.obs`` that are allowed to do I/O (everything else
 #: in the package must stay sans-IO like the protocol core).
@@ -107,11 +113,20 @@ def check_obs_package(root: Path = OBS_DIR) -> list[str]:
     return violations
 
 
+def check_dataplane_package(root: Path = DATAPLANE_DIR) -> list[str]:
+    """The data-plane engines are a sans-IO core like the protocol's."""
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        violations.extend(check_file(path))
+    return violations
+
+
 def main() -> int:
     status = 0
     for name, directory, checker in (
         ("repro.protocol", PROTOCOL_DIR, check_protocol_package),
         ("repro.obs core", OBS_DIR, check_obs_package),
+        ("repro.dataplane", DATAPLANE_DIR, check_dataplane_package),
     ):
         if not directory.is_dir():
             print(f"error: {directory} not found", file=sys.stderr)
